@@ -1,0 +1,65 @@
+"""Fig. 3 — visualization of sensors, gateways, and links.
+
+Regenerates the network visualization from the live dataport snapshot in
+all three output formats (ASCII, SVG, GeoJSON) and benchmarks the
+render path that the wall display refreshes continuously.
+"""
+
+import json
+
+import pytest
+
+from conftest import report
+from repro.viz import render_svg_map, render_text_map, to_geojson
+
+
+def test_fig3_shows_full_deployment(live_ecosystem):
+    city = live_ecosystem.city("trondheim")
+    snapshot = city.network_snapshot()
+    text = render_text_map(snapshot)
+    # All 12 sensors and 3 gateways drawn.
+    assert text.count("S") + text.count("!") >= 10  # projections may overlap
+    assert "sensors=12" in text
+    assert "gateways=3" in text
+
+    svg = render_svg_map(snapshot)
+    assert svg.count("<circle") == 12
+    assert svg.count("<rect") >= 3
+
+    geo = to_geojson(snapshot)
+    kinds = [f["properties"]["kind"] for f in geo["features"]]
+    assert kinds.count("sensor") == 12
+    assert kinds.count("gateway") == 3
+    assert kinds.count("link") >= 12  # every sensor heard by >= 1 gateway
+    json.dumps(geo)
+    report(
+        "Fig.3: network visualization",
+        [
+            ("sensors", kinds.count("sensor")),
+            ("gateways", kinds.count("gateway")),
+            ("links", kinds.count("link")),
+        ],
+    )
+
+
+def test_fig3_live_links_carry_rssi(live_ecosystem):
+    geo = to_geojson(live_ecosystem.city("trondheim").network_snapshot())
+    links = [f for f in geo["features"] if f["properties"]["kind"] == "link"]
+    assert all(l["properties"]["rssi_dbm"] is not None for l in links)
+    assert all(-140.0 < l["properties"]["rssi_dbm"] < -20.0 for l in links)
+
+
+def test_fig3_render_benchmark(live_ecosystem, benchmark):
+    """Benchmark: one full refresh (snapshot -> all three renders)."""
+    city = live_ecosystem.city("trondheim")
+
+    def refresh():
+        snapshot = city.network_snapshot()
+        return (
+            render_text_map(snapshot),
+            render_svg_map(snapshot),
+            to_geojson(snapshot),
+        )
+
+    text, svg, geo = benchmark(refresh)
+    assert "CTT network" in text

@@ -1,0 +1,94 @@
+"""Fig. 7 — integration of sensor data into the 3D CityGML model.
+
+Regenerates the Vejle pipeline: LOD1 city model (CityGML round trip),
+sensor measuring points placed in the model, buildings shaded by the
+interpolated pollution level, plus the demo's siting-consultation
+feature ("choosing the sites of air quality monitoring ... according to
+the road network and building density").
+"""
+
+import math
+
+import pytest
+
+from conftest import report
+from repro.integration import parse_citygml, write_citygml
+from repro.tsdb import METRIC_NO2
+from repro.viz import (
+    attach_sensor_values,
+    city_model_geojson,
+    render_city_svg,
+    siting_suggestions,
+)
+
+
+def test_fig7_gml_round_trip(history_ecosystem):
+    eco, city, start, end = history_ecosystem
+    model = city.city_model
+    assert len(model) > 100  # a real block model, not a toy
+    text = write_citygml(model)
+    restored = parse_citygml(text)
+    assert len(restored) == len(model)
+
+
+def test_fig7_sensors_into_model(history_ecosystem):
+    eco, city, start, end = history_ecosystem
+    sensor_values = city.sensor_values_latest(METRIC_NO2)
+    assert len(sensor_values) == 2  # the Vejle pair
+    levels = attach_sensor_values(city.city_model, sensor_values)
+    shaded = [v for v in levels.values() if math.isfinite(v)]
+    assert shaded  # buildings near sensors picked up a level
+    svg = render_city_svg(city.city_model, sensor_values)
+    assert svg.count("<polygon") == len(city.city_model)
+    assert svg.count("<circle") == 2
+    geo = city_model_geojson(city.city_model, sensor_values)
+    kinds = [f["properties"]["kind"] for f in geo["features"]]
+    report(
+        "Fig.7: city model integration",
+        [
+            ("buildings", kinds.count("building")),
+            ("sensors placed", kinds.count("sensor")),
+            ("buildings with level", len(shaded)),
+        ],
+    )
+
+
+def test_fig7_injection_visible_in_model(history_ecosystem):
+    """Demo: 'inject synthetic data showing different pollution levels'
+    and see it in the 3D view."""
+    eco, city, start, end = history_ecosystem
+    sensor_values = city.sensor_values_latest(METRIC_NO2)
+    baseline = attach_sensor_values(city.city_model, sensor_values)
+    # Simulate a construction site next to node 1: raise its value.
+    node, (loc, value) = sorted(sensor_values.items())[0]
+    polluted = {**sensor_values, node: (loc, value + 150.0)}
+    after = attach_sensor_values(city.city_model, polluted)
+    raised = [
+        b for b in baseline
+        if math.isfinite(baseline[b]) and after[b] > baseline[b] + 1.0
+    ]
+    assert raised  # nearby buildings visibly change level
+
+
+def test_fig7_siting_consultation(history_ecosystem):
+    eco, city, start, end = history_ecosystem
+    existing = [loc for _, (loc, _) in city.sensor_values_latest(METRIC_NO2).items()]
+    sites = siting_suggestions(city.city_model, existing, n=3)
+    assert len(sites) == 3
+    for site in sites:
+        for old in existing:
+            assert site.distance_to(old) >= 400.0
+
+
+def test_fig7_pipeline_benchmark(history_ecosystem, benchmark):
+    """Benchmark: GML write+parse plus the shaded SVG render."""
+    eco, city, start, end = history_ecosystem
+    sensor_values = city.sensor_values_latest(METRIC_NO2)
+
+    def pipeline():
+        text = write_citygml(city.city_model)
+        model = parse_citygml(text)
+        return render_city_svg(model, sensor_values)
+
+    svg = benchmark(pipeline)
+    assert "<svg" in svg

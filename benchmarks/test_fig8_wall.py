@@ -1,0 +1,53 @@
+"""Fig. 8 — network monitoring and data visualization wall display.
+
+Regenerates the composite wall: network map + alarm strip + both Fig. 6
+dashboards + fleet summary line, in healthy and degraded states, and
+benchmarks a full wall refresh.
+"""
+
+import pytest
+
+from conftest import report
+from repro.core import build_wall_display
+from repro.simclock import HOUR
+
+
+def test_fig8_wall_composition(live_ecosystem):
+    eco = live_ecosystem
+    city = eco.city("trondheim")
+    wall = build_wall_display(city, 0, eco.now)
+    text = wall.render_text()
+    # All sections of the wall are present.
+    assert "CTT wall — trondheim" in text
+    assert "CTT network" in text  # Fig. 3 panel
+    assert "Active alarms" in text
+    assert "Air quality — trondheim" in text  # Fig. 6 left
+    assert "Traffic — trondheim" in text  # Fig. 6 right
+    assert "fleet: 12/12 sensors live" in text
+
+
+def test_fig8_wall_reflects_degradation(live_ecosystem):
+    eco = live_ecosystem
+    city = eco.city("trondheim")
+    victim = city.nodes["ctt-tr-07"]
+    was_alive = victim.alive
+    victim.alive = False
+    eco.run(2 * HOUR)
+    text = build_wall_display(city, 0, eco.now).render_text()
+    assert "sensor ctt-tr-07 overdue" in text
+    assert "11/12 sensors live" in text
+    victim.alive = was_alive  # note: node loop stays stopped; fine for tests
+
+
+def test_fig8_wall_refresh_benchmark(live_ecosystem, benchmark):
+    eco = live_ecosystem
+    city = eco.city("trondheim")
+    wall = build_wall_display(city, 0, eco.now)
+    text = benchmark(wall.render_text)
+    assert "CTT wall" in text
+    if benchmark.stats:
+        report(
+            "Fig.8: wall refresh",
+            [("mean", f"{benchmark.stats['mean'] * 1e3:.1f} ms"),
+             ("chars", len(text))],
+        )

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The CO2-vs-traffic study behind paper Fig. 5.
+
+Aligns a week of CO2 measurements with the here.com jam factor at one
+sensor location, prints both diurnal profiles side by side, the
+correlation scan, and the multi-factor attribution — arriving at the
+paper's conclusion: "traffic is not the only factor that accounts for
+the dynamics of the CO2 emission ... no apparent correlation".
+
+Run:  python examples/co2_traffic_study.py
+"""
+
+import numpy as np
+
+from repro.analytics import correlation_study, diurnal_comparison, factor_attribution
+from repro.core import CttEcosystem, EcosystemConfig, backfill_history, vejle_deployment
+from repro.integration import Harmonizer
+from repro.simclock import CTT_EPOCH, DAY, HOUR
+from repro.tsdb import METRIC_CO2, METRIC_JAM_FACTOR, Query
+from repro.viz import sparkline
+
+
+def main() -> None:
+    eco = CttEcosystem([vejle_deployment()], config=EcosystemConfig(seed=3))
+    city = eco.city("vejle")
+    start, end = CTT_EPOCH, CTT_EPOCH + 14 * DAY
+    backfill_history(city, start, end, cadence_s=HOUR)
+
+    co2 = eco.db.run(
+        Query(METRIC_CO2, start, end - 1, tags={"city": "vejle"},
+              downsample="1h-avg-linear")
+    ).single()
+    jam = eco.db.run(
+        Query(METRIC_JAM_FACTOR, start, end - 1, downsample="1h-avg-linear")
+    ).single()
+    n = min(len(co2), len(jam))
+    ts = co2.timestamps[:n]
+
+    comp = diurnal_comparison(co2.values[:n], jam.values[:n], ts)
+    print("== diurnal profiles (normalized, hour 0-23) ==")
+    print(f"  CO2   {sparkline(comp.co2_profile)}   peak hour {comp.co2_peak_hour:2d}")
+    print(f"  jam   {sparkline(comp.jam_profile)}   peak hour {comp.jam_peak_hour:2d}")
+    print(f"  profile correlation: {comp.profile_correlation:+.3f}"
+          "  -> the patterns differ\n")
+
+    study = correlation_study(co2.values[:n], jam.values[:n], cadence_s=HOUR)
+    print("== correlation scan (Fig. 5 verdict) ==")
+    print(f"  Pearson r  {study.pearson_r:+.3f} (p={study.pearson_p:.2g})")
+    print(f"  Spearman   {study.spearman_rho:+.3f}")
+    print(f"  best lag   {study.best_lag_s / 3600:+.0f} h -> r {study.best_lag_r:+.3f}")
+    verdict = ("NO apparent correlation" if study.no_apparent_correlation
+               else "correlated")
+    print(f"  verdict: {verdict}\n")
+
+    weather = city.environment.weather
+    attribution = factor_attribution(
+        co2.values[:n],
+        {
+            "jam_factor": jam.values[:n],
+            "wind": np.array([weather.wind_speed_ms(int(t)) for t in ts]),
+            "temperature": np.array([weather.temperature_c(int(t)) for t in ts]),
+            "humidity": np.array([weather.humidity_pct(int(t)) for t in ts]),
+        },
+        ts,
+    )
+    print("== what DOES explain CO2? (multi-factor attribution) ==")
+    print(f"  R2, traffic alone:            {attribution.r2_traffic_only:.2f}")
+    print(f"  R2, + weather + daily cycle:  {attribution.r2_full:.2f}")
+    print("  standardized coefficients:")
+    for name, coef in sorted(attribution.coefficients.items()):
+        print(f"    {name:>12}: {coef:+7.2f}")
+    print(
+        "\nconclusion: CO2 dynamics are a complex, multi-factor signal — "
+        "matching the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro: reproduction of "Analysis and Visualization of Urban Emission
+Measurements in Smart Cities" (Ahlers et al., EDBT 2018).
+
+The Carbon Track & Trace (CTT) smart-city air-quality ecosystem, built
+from scratch: low-cost sensor simulation, LoRaWAN backbone, MQTT bus,
+an OpenTSDB-style time-series database, the actor-based "dataport"
+monitoring system with digital twins, external data integration
+(Table 1), analytics (calibration, battery, CO2 dynamics), and
+visualization (network map, dashboards, CityGML, wall display).
+
+Quick start::
+
+    from repro.core import CttEcosystem, trondheim_deployment
+    eco = CttEcosystem([trondheim_deployment()])
+    eco.start()
+    eco.run(6 * 3600)  # six simulated hours
+    print(eco.city("trondheim").delivery_stats())
+"""
+
+__version__ = "1.0.0"
+
+from . import (  # noqa: F401
+    analytics,
+    core,
+    dataport,
+    geo,
+    integration,
+    lorawan,
+    mqtt,
+    sensors,
+    simclock,
+    streams,
+    tsdb,
+    viz,
+)
+
+__all__ = [
+    "analytics",
+    "core",
+    "dataport",
+    "geo",
+    "integration",
+    "lorawan",
+    "mqtt",
+    "sensors",
+    "simclock",
+    "streams",
+    "tsdb",
+    "viz",
+    "__version__",
+]

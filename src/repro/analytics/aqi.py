@@ -1,0 +1,92 @@
+"""Air-quality index (CAQI) for the dashboards.
+
+Fig. 6 shows "air quality ... indicators" per mapped sensor.  We use the
+European Common Air Quality Index (CAQI, hourly, background variant):
+each pollutant maps to a 0-100+ sub-index through piecewise-linear
+breakpoints; the overall index is the worst sub-index; bands name the
+colour the dashboard tile shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: CAQI hourly background breakpoints: (concentration, index) knots.
+_BREAKPOINTS: dict[str, list[tuple[float, float]]] = {
+    "no2_ugm3": [(0, 0), (50, 25), (100, 50), (200, 75), (400, 100)],
+    "pm10_ugm3": [(0, 0), (25, 25), (50, 50), (90, 75), (180, 100)],
+    "pm25_ugm3": [(0, 0), (15, 25), (30, 50), (55, 75), (110, 100)],
+}
+
+BANDS = (
+    (25.0, "very_low"),
+    (50.0, "low"),
+    (75.0, "medium"),
+    (100.0, "high"),
+    (float("inf"), "very_high"),
+)
+
+
+def sub_index(quantity: str, concentration: float) -> float:
+    """CAQI sub-index for one pollutant concentration.
+
+    Above the last breakpoint the index extrapolates linearly — CAQI is
+    open-ended at the top.
+    """
+    try:
+        knots = _BREAKPOINTS[quantity]
+    except KeyError:
+        raise ValueError(
+            f"no CAQI breakpoints for {quantity!r}; "
+            f"supported: {sorted(_BREAKPOINTS)}"
+        ) from None
+    c = max(0.0, float(concentration))
+    xs = [k[0] for k in knots]
+    ys = [k[1] for k in knots]
+    if c >= xs[-1]:
+        slope = (ys[-1] - ys[-2]) / (xs[-1] - xs[-2])
+        return ys[-1] + slope * (c - xs[-1])
+    return float(np.interp(c, xs, ys))
+
+
+def band(index: float) -> str:
+    """CAQI band name for an index value."""
+    for limit, name in BANDS:
+        if index <= limit:
+            return name
+    return BANDS[-1][1]
+
+
+@dataclass(frozen=True)
+class AqiResult:
+    """Overall CAQI with per-pollutant detail."""
+
+    index: float
+    band: str
+    dominant: str
+    sub_indices: dict[str, float]
+
+
+def caqi(concentrations: dict[str, float]) -> AqiResult:
+    """Overall CAQI from pollutant concentrations.
+
+    Unknown quantities are ignored (dashboards pass whole measurement
+    dicts); at least one CAQI pollutant must be present.
+    """
+    subs = {
+        q: sub_index(q, v)
+        for q, v in concentrations.items()
+        if q in _BREAKPOINTS and v is not None and np.isfinite(v)
+    }
+    if not subs:
+        raise ValueError("no CAQI-relevant pollutant present")
+    dominant = max(subs, key=lambda q: subs[q])
+    overall = subs[dominant]
+    return AqiResult(
+        index=round(overall, 1),
+        band=band(overall),
+        dominant=dominant,
+        sub_indices={k: round(v, 1) for k, v in subs.items()},
+    )

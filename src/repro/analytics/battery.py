@@ -1,0 +1,155 @@
+"""Battery-level analysis (paper Fig. 4).
+
+Fig. 4 has two panels:
+
+- left: "battery level as a function of time" — per-node voltage series;
+- right: "the difference in battery-level from previous sent package
+  versus time of day, and where red indicates whether the nodes could
+  have been charged by sunlight since the previous package" — the
+  scatter this module's :func:`battery_deltas` reproduces, including the
+  could-have-charged flag from the solar model.
+
+Plus the operational question behind the figure: "This allows to
+estimate battery depletion" — :func:`estimate_depletion`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simclock import hour_of_day
+from ..simclock.sun import solar_elevation_deg
+
+
+@dataclass(frozen=True)
+class BatteryDelta:
+    """One point of Fig. 4's right panel."""
+
+    timestamp: int
+    hour_of_day: float
+    delta_v: float
+    could_have_charged: bool  # sun above horizon since previous package
+
+
+def _sun_was_up_between(t0: int, t1: int, lat: float, lon: float) -> bool:
+    """Was the sun above the horizon at any point in [t0, t1]?
+
+    Sampled at <= 15-minute resolution, which cannot miss a daylight
+    window at 5-minute..hour packet cadences.
+    """
+    if t1 <= t0:
+        return solar_elevation_deg(t0, lat, lon) > 0.0
+    step = max(60, min(900, (t1 - t0) // 8 or 60))
+    for t in range(t0, t1 + 1, step):
+        if solar_elevation_deg(t, lat, lon) > 0.0:
+            return True
+    return solar_elevation_deg(t1, lat, lon) > 0.0
+
+
+def battery_deltas(
+    timestamps: np.ndarray,
+    voltages: np.ndarray,
+    lat: float,
+    lon: float,
+) -> list[BatteryDelta]:
+    """Fig. 4 right panel: Δbattery vs time of day with sunlight flag."""
+    ts = np.asarray(timestamps, dtype=np.int64)
+    v = np.asarray(voltages, dtype=float)
+    if ts.shape != v.shape:
+        raise ValueError("timestamps and voltages must be aligned")
+    out: list[BatteryDelta] = []
+    for i in range(1, ts.size):
+        if not (np.isfinite(v[i]) and np.isfinite(v[i - 1])):
+            continue
+        out.append(
+            BatteryDelta(
+                timestamp=int(ts[i]),
+                hour_of_day=hour_of_day(int(ts[i])),
+                delta_v=float(v[i] - v[i - 1]),
+                could_have_charged=_sun_was_up_between(
+                    int(ts[i - 1]), int(ts[i]), lat, lon
+                ),
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class ChargeBalance:
+    """Summary statistics of the Fig. 4 scatter."""
+
+    mean_delta_sunlit_v: float
+    mean_delta_dark_v: float
+    n_sunlit: int
+    n_dark: int
+
+    @property
+    def charging_works(self) -> bool:
+        """The qualitative Fig. 4 claim: charging happens in daylight."""
+        return self.mean_delta_sunlit_v > self.mean_delta_dark_v
+
+
+def charge_balance(deltas: list[BatteryDelta]) -> ChargeBalance:
+    sunlit = [d.delta_v for d in deltas if d.could_have_charged]
+    dark = [d.delta_v for d in deltas if not d.could_have_charged]
+    return ChargeBalance(
+        mean_delta_sunlit_v=float(np.mean(sunlit)) if sunlit else float("nan"),
+        mean_delta_dark_v=float(np.mean(dark)) if dark else float("nan"),
+        n_sunlit=len(sunlit),
+        n_dark=len(dark),
+    )
+
+
+@dataclass(frozen=True)
+class DepletionEstimate:
+    """Projected time-to-empty from the overnight discharge slope."""
+
+    discharge_v_per_day: float  # dark-hours slope (negative = draining)
+    days_to_empty: float  # inf when net-positive
+    current_voltage: float
+    empty_voltage: float = 3.3  # brown-out threshold used operationally
+
+
+def estimate_depletion(
+    timestamps: np.ndarray,
+    voltages: np.ndarray,
+    lat: float,
+    lon: float,
+    empty_voltage: float = 3.3,
+) -> DepletionEstimate:
+    """Estimate depletion (the purpose the paper states for Fig. 4).
+
+    Fits the discharge slope on dark-period deltas only (solar input
+    masks the true drain), then projects the *net* daily balance —
+    dark drain plus sunlit recharge — forward to the brown-out voltage.
+    """
+    deltas = battery_deltas(timestamps, voltages, lat, lon)
+    if not deltas:
+        raise ValueError("need at least two samples")
+    balance = charge_balance(deltas)
+    v_now = float(np.asarray(voltages, dtype=float)[-1])
+
+    # Net change per day: sum of all deltas / elapsed days.
+    elapsed_days = (int(timestamps[-1]) - int(timestamps[0])) / 86400.0
+    net_per_day = (
+        sum(d.delta_v for d in deltas) / elapsed_days if elapsed_days > 0 else 0.0
+    )
+    dark_per_day = (
+        balance.mean_delta_dark_v
+        * balance.n_dark
+        / elapsed_days
+        if elapsed_days > 0 and balance.n_dark
+        else 0.0
+    )
+    if net_per_day >= -1e-6:
+        days = float("inf")
+    else:
+        days = max(0.0, (v_now - empty_voltage) / -net_per_day)
+    return DepletionEstimate(
+        discharge_v_per_day=dark_per_day,
+        days_to_empty=days,
+        current_voltage=v_now,
+        empty_voltage=empty_voltage,
+    )

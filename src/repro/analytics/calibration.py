@@ -1,0 +1,150 @@
+"""Sensor grounding and calibration against a reference station.
+
+Paper §2.4: "to support the grounding and calibration, we have
+co-located one of our sensor units to the only station in the pilot
+area.  This allows to compare both absolute and relative accuracy and
+calibrate the local sensor and, through larger-scale correlated trends,
+the network, but with lower certainty."
+
+The model is a linear transfer ``reference ≈ gain * raw + offset`` fit
+by least squares on time-aligned co-location pairs; network propagation
+re-uses the co-located node's gain (city-wide trends are shared) while
+refitting only the per-node offset against the city median — the
+"lower certainty" second tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class CalibrationError(ValueError):
+    """Not enough (or degenerate) co-location data."""
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Absolute + relative accuracy of one series against a reference."""
+
+    rmse: float
+    bias: float  # mean(sensor - reference): absolute accuracy
+    correlation: float  # relative accuracy (tracking the dynamics)
+    n: int
+
+
+def accuracy(sensor: np.ndarray, reference: np.ndarray) -> AccuracyReport:
+    """Compare aligned sensor and reference arrays."""
+    sensor = np.asarray(sensor, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    if sensor.shape != reference.shape:
+        raise CalibrationError("sensor and reference must be aligned")
+    mask = np.isfinite(sensor) & np.isfinite(reference)
+    s, r = sensor[mask], reference[mask]
+    if s.size < 3:
+        raise CalibrationError(f"need >= 3 aligned pairs, got {s.size}")
+    resid = s - r
+    corr = float(np.corrcoef(s, r)[0, 1]) if s.std() > 0 and r.std() > 0 else 0.0
+    return AccuracyReport(
+        rmse=float(np.sqrt(np.mean(resid**2))),
+        bias=float(np.mean(resid)),
+        correlation=corr,
+        n=int(s.size),
+    )
+
+
+@dataclass(frozen=True)
+class LinearCalibration:
+    """``corrected = gain * raw + offset``."""
+
+    gain: float
+    offset: float
+    residual_sigma: float  # 1-sigma of post-fit residuals
+    n: int
+
+    def apply(self, raw: np.ndarray | float):
+        return self.gain * np.asarray(raw, dtype=float) + self.offset
+
+
+def fit_colocation(
+    raw: np.ndarray, reference: np.ndarray, min_pairs: int = 24
+) -> LinearCalibration:
+    """Fit the linear transfer from co-location pairs.
+
+    ``min_pairs`` defaults to a day of hourly pairs — fitting on less
+    yields transfers that do not generalize past the fit window.
+    """
+    raw = np.asarray(raw, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    if raw.shape != reference.shape:
+        raise CalibrationError("raw and reference must be aligned")
+    mask = np.isfinite(raw) & np.isfinite(reference)
+    x, y = raw[mask], reference[mask]
+    if x.size < min_pairs:
+        raise CalibrationError(
+            f"need >= {min_pairs} co-location pairs, got {x.size}"
+        )
+    if float(np.std(x)) < 1e-9:
+        raise CalibrationError("raw series is constant; cannot fit a gain")
+    gain, offset = np.polyfit(x, y, 1)
+    resid = y - (gain * x + offset)
+    return LinearCalibration(
+        gain=float(gain),
+        offset=float(offset),
+        residual_sigma=float(np.std(resid)),
+        n=int(x.size),
+    )
+
+
+@dataclass(frozen=True)
+class NetworkCalibration:
+    """Per-node calibrations propagated from one co-located anchor."""
+
+    anchor_node: str
+    anchor: LinearCalibration
+    per_node: dict[str, LinearCalibration]
+
+    def for_node(self, node_id: str) -> LinearCalibration:
+        return self.per_node.get(node_id, self.anchor)
+
+
+def propagate_network(
+    anchor_node: str,
+    anchor_cal: LinearCalibration,
+    node_series: dict[str, np.ndarray],
+    *,
+    min_overlap: int = 24,
+) -> NetworkCalibration:
+    """Second-tier calibration via "larger-scale correlated trends".
+
+    All nodes observe the same city-scale background, so the anchor's
+    *gain* transfers; each node's *offset* is chosen so its corrected
+    median matches the corrected anchor median over the same window.
+    The residual sigma is inflated (x2) to encode the paper's "lower
+    certainty".
+    """
+    if anchor_node not in node_series:
+        raise CalibrationError(f"anchor node {anchor_node!r} missing from series")
+    anchor_raw = np.asarray(node_series[anchor_node], dtype=float)
+    anchor_corrected = anchor_cal.apply(anchor_raw)
+    target_median = float(np.nanmedian(anchor_corrected))
+
+    per_node: dict[str, LinearCalibration] = {anchor_node: anchor_cal}
+    for node, raw in node_series.items():
+        if node == anchor_node:
+            continue
+        raw = np.asarray(raw, dtype=float)
+        finite = raw[np.isfinite(raw)]
+        if finite.size < min_overlap:
+            continue  # not enough data; falls back to the anchor transfer
+        offset = target_median - anchor_cal.gain * float(np.median(finite))
+        per_node[node] = LinearCalibration(
+            gain=anchor_cal.gain,
+            offset=offset,
+            residual_sigma=anchor_cal.residual_sigma * 2.0,
+            n=int(finite.size),
+        )
+    return NetworkCalibration(
+        anchor_node=anchor_node, anchor=anchor_cal, per_node=per_node
+    )

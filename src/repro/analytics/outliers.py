@@ -1,0 +1,154 @@
+"""Outlier and malfunctioning-sensor identification.
+
+Paper §2.4: "In connection with the network monitoring, it also allows
+the identification of outliers and malfunctioning sensors."  Three
+complementary detectors:
+
+- :func:`rolling_mad_outliers` — point anomalies against a robust
+  rolling baseline (spikes);
+- :func:`stuck_values` — channels repeating the same reading (stuck-at
+  faults);
+- :func:`drift_against_peers` — slow divergence from the fleet median
+  (decaying sensors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OutlierReport:
+    """Indices (into the input arrays) judged anomalous, with scores."""
+
+    indices: np.ndarray
+    scores: np.ndarray
+    threshold: float
+
+    def __len__(self) -> int:
+        return int(self.indices.shape[0])
+
+
+def rolling_mad_outliers(
+    values: np.ndarray, window: int = 24, threshold: float = 5.0
+) -> OutlierReport:
+    """Robust z-score against a centred rolling median/MAD.
+
+    MAD-based scores stay meaningful in the presence of the outliers
+    themselves (unlike mean/std).  Values with |z| >= threshold are
+    flagged.  NaNs never flag and never poison the baseline.
+    """
+    if window < 3:
+        raise ValueError("window must be >= 3")
+    v = np.asarray(values, dtype=float)
+    n = v.size
+    scores = np.zeros(n)
+    half = window // 2
+    for i in range(n):
+        if not np.isfinite(v[i]):
+            continue
+        lo = max(0, i - half)
+        hi = min(n, i + half + 1)
+        neighbourhood = np.delete(v[lo:hi], i - lo)
+        neighbourhood = neighbourhood[np.isfinite(neighbourhood)]
+        if neighbourhood.size < 3:
+            continue
+        med = np.median(neighbourhood)
+        mad = np.median(np.abs(neighbourhood - med))
+        sigma = 1.4826 * mad  # MAD -> std for Gaussian data
+        if sigma < 1e-9:
+            # Flat baseline: any departure is infinitely surprising;
+            # use a small floor instead of dividing by ~0.
+            sigma = max(1e-9, 0.01 * max(1.0, abs(med)))
+        scores[i] = abs(v[i] - med) / sigma
+    idx = np.nonzero(scores >= threshold)[0]
+    return OutlierReport(indices=idx, scores=scores[idx], threshold=threshold)
+
+
+@dataclass(frozen=True)
+class StuckRun:
+    """A run of identical values long enough to be suspicious."""
+
+    start_index: int
+    length: int
+    value: float
+
+
+def stuck_values(
+    values: np.ndarray, min_run: int = 6, tolerance: float = 0.0
+) -> list[StuckRun]:
+    """Find runs of (near-)identical consecutive readings.
+
+    Natural signals at 5-minute cadence essentially never repeat exactly
+    for an hour; ``min_run=6`` therefore catches stuck-at faults with a
+    negligible false-positive rate.
+    """
+    if min_run < 2:
+        raise ValueError("min_run must be >= 2")
+    v = np.asarray(values, dtype=float)
+    runs: list[StuckRun] = []
+    start = 0
+    for i in range(1, v.size + 1):
+        boundary = (
+            i == v.size
+            or not np.isfinite(v[i])
+            or not np.isfinite(v[start])
+            or abs(v[i] - v[start]) > tolerance
+        )
+        if boundary:
+            length = i - start
+            if length >= min_run and np.isfinite(v[start]):
+                runs.append(StuckRun(start, length, float(v[start])))
+            start = i
+    return runs
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Per-node divergence from the fleet median."""
+
+    node_id: str
+    drift_per_day: float
+    final_offset: float
+    suspicious: bool
+
+
+def drift_against_peers(
+    node_series: dict[str, np.ndarray],
+    timestamps: np.ndarray,
+    *,
+    max_drift_per_day: float = 1.0,
+) -> list[DriftReport]:
+    """Estimate each node's divergence trend from the fleet median.
+
+    All nodes see the same city background, so ``node - median(fleet)``
+    should be a flat offset; a significant slope marks a decaying
+    sensor.  The slope is fit by least squares over days.
+    """
+    if len(node_series) < 3:
+        raise ValueError("need >= 3 nodes for a meaningful fleet median")
+    names = sorted(node_series)
+    matrix = np.vstack([np.asarray(node_series[n], dtype=float) for n in names])
+    fleet_median = np.nanmedian(matrix, axis=0)
+    days = (np.asarray(timestamps, dtype=float) - float(timestamps[0])) / 86400.0
+
+    reports: list[DriftReport] = []
+    for name, row in zip(names, matrix):
+        delta = row - fleet_median
+        mask = np.isfinite(delta)
+        if mask.sum() < 5 or np.ptp(days[mask]) < 0.5:
+            reports.append(DriftReport(name, 0.0, 0.0, False))
+            continue
+        slope, intercept = np.polyfit(days[mask], delta[mask], 1)
+        final = slope * days[mask][-1] + intercept
+        reports.append(
+            DriftReport(
+                node_id=name,
+                drift_per_day=float(slope),
+                final_offset=float(final),
+                suspicious=abs(slope) > max_drift_per_day,
+            )
+        )
+    return reports

@@ -1,0 +1,131 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small operational wrapper over the library so a city operator can poke
+the system without writing code:
+
+- ``demo``      — run the two-city EDBT demonstration;
+- ``run``       — simulate one city for N hours and print pipeline stats;
+- ``dashboard`` — render the Fig. 6 air-quality dashboard as text;
+- ``table1``    — show the external-source catalog status;
+- ``wall``      — render the Fig. 8 wall display once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import (
+    CttEcosystem,
+    EcosystemConfig,
+    build_air_quality_dashboard,
+    build_wall_display,
+    trondheim_deployment,
+    vejle_deployment,
+)
+from .integration import render_table1
+from .simclock import HOUR
+
+
+def _deployment(city: str):
+    if city == "trondheim":
+        return trondheim_deployment()
+    if city == "vejle":
+        return vejle_deployment()
+    raise SystemExit(f"unknown city {city!r}; pick 'trondheim' or 'vejle'")
+
+
+def _build(city: str, hours: int, seed: int) -> tuple[CttEcosystem, object]:
+    eco = CttEcosystem([_deployment(city)], config=EcosystemConfig(seed=seed))
+    eco.start()
+    eco.run(hours * HOUR)
+    return eco, eco.city(city)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    eco, city = _build(args.city, args.hours, args.seed)
+    stats = city.delivery_stats()
+    print(f"{args.city}: {args.hours} simulated hour(s)")
+    for key, value in stats.items():
+        print(f"  {key:>22}: {value}")
+    return 0
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    eco, city = _build(args.city, args.hours, args.seed)
+    start = eco.now - args.hours * HOUR
+    dash = build_air_quality_dashboard(city, start, eco.now)
+    print(dash.render_text())
+    return 0
+
+
+def cmd_wall(args: argparse.Namespace) -> int:
+    eco, city = _build(args.city, args.hours, args.seed)
+    start = eco.now - args.hours * HOUR
+    print(build_wall_display(city, start, eco.now).render_text())
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    eco = CttEcosystem([_deployment(args.city)],
+                       config=EcosystemConfig(seed=args.seed))
+    print(render_table1(eco.city(args.city).catalog))
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    # The examples script is the canonical demo; reuse it.
+    from pathlib import Path
+    import runpy
+
+    script = Path(__file__).resolve().parents[2] / "examples" / "two_city_demo.py"
+    if script.exists():
+        runpy.run_path(str(script), run_name="__main__")
+        return 0
+    print("examples/two_city_demo.py not found; run from a source checkout",
+          file=sys.stderr)
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CTT smart-city air-quality ecosystem (EDBT 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--city", default="trondheim",
+                       choices=("trondheim", "vejle"))
+        p.add_argument("--hours", type=int, default=6)
+        p.add_argument("--seed", type=int, default=0)
+
+    p_run = sub.add_parser("run", help="simulate and print pipeline stats")
+    common(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_dash = sub.add_parser("dashboard", help="render the air-quality dashboard")
+    common(p_dash)
+    p_dash.set_defaults(func=cmd_dashboard)
+
+    p_wall = sub.add_parser("wall", help="render the wall display")
+    common(p_wall)
+    p_wall.set_defaults(func=cmd_wall)
+
+    p_t1 = sub.add_parser("table1", help="external-source catalog status")
+    common(p_t1)
+    p_t1.set_defaults(func=cmd_table1)
+
+    p_demo = sub.add_parser("demo", help="run the full EDBT demo")
+    p_demo.set_defaults(func=cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

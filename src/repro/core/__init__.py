@@ -1,0 +1,57 @@
+"""The CTT ecosystem facade: deployments, the Fig. 1 stack, demo scenarios."""
+
+from .deployment import (
+    CityDeployment,
+    GatewayPlacement,
+    NodePlacement,
+    trondheim_deployment,
+    vejle_deployment,
+)
+from .ecosystem import CityEcosystem, CttEcosystem, EcosystemConfig
+from .interventions import (
+    ImpactAssessment,
+    LocationImpact,
+    StreetClosure,
+    TransitImprovement,
+    apply_intervention,
+    assess_intervention,
+)
+from .scenarios import (
+    CitizensView,
+    DeveloperView,
+    OfficialsView,
+    backfill_history,
+    build_air_quality_dashboard,
+    build_traffic_dashboard,
+    build_wall_display,
+    citizens_scenario,
+    developer_scenario,
+    officials_scenario,
+)
+
+__all__ = [
+    "CitizensView",
+    "CityDeployment",
+    "CityEcosystem",
+    "CttEcosystem",
+    "DeveloperView",
+    "EcosystemConfig",
+    "GatewayPlacement",
+    "ImpactAssessment",
+    "LocationImpact",
+    "NodePlacement",
+    "OfficialsView",
+    "StreetClosure",
+    "TransitImprovement",
+    "apply_intervention",
+    "assess_intervention",
+    "backfill_history",
+    "build_air_quality_dashboard",
+    "build_traffic_dashboard",
+    "build_wall_display",
+    "citizens_scenario",
+    "developer_scenario",
+    "officials_scenario",
+    "trondheim_deployment",
+    "vejle_deployment",
+]

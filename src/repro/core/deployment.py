@@ -1,0 +1,138 @@
+"""Deployment descriptors for the two pilot cities.
+
+Paper §3: "two use cases of deploying our systems in Vejle, Denmark and
+Trondheim, Norway, where two and twelve sensors were deployed
+respectively".  Descriptors are declarative — node/gateway placements,
+road network, climate — and the ecosystem builder turns them into live
+simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geo import GeoPoint, TRONDHEIM, VEJLE
+from ..sensors.environment import RoadSegment
+
+
+@dataclass(frozen=True)
+class NodePlacement:
+    node_id: str
+    location: GeoPoint
+    #: Co-located with the official reference station (calibration anchor).
+    colocated_with_reference: bool = False
+
+
+@dataclass(frozen=True)
+class GatewayPlacement:
+    gateway_id: str
+    location: GeoPoint
+    altitude_m: float = 25.0
+
+
+@dataclass(frozen=True)
+class CityDeployment:
+    """Everything needed to instantiate one pilot city."""
+
+    city: str
+    center: GeoPoint
+    nodes: tuple[NodePlacement, ...]
+    gateways: tuple[GatewayPlacement, ...]
+    roads: tuple[RoadSegment, ...]
+    mean_temp_c: float
+    environment_seed: int
+
+    @property
+    def reference_node(self) -> NodePlacement | None:
+        for node in self.nodes:
+            if node.colocated_with_reference:
+                return node
+        return None
+
+    @property
+    def reference_location(self) -> GeoPoint | None:
+        node = self.reference_node
+        return node.location if node else None
+
+
+def _ring(center: GeoPoint, n: int, radius_m: float, start_bearing: float = 0.0):
+    step = 360.0 / n
+    return [center.destination(start_bearing + i * step, radius_m) for i in range(n)]
+
+
+def trondheim_deployment(seed: int = 7) -> CityDeployment:
+    """The 12-node Trondheim pilot.
+
+    Placement mimics the real deployment's logic: a co-located anchor at
+    the official station, nodes along the main road (E6 through the
+    centre), and a ring covering residential districts.  Three gateways
+    give overlapping coverage of the bowl-shaped city.
+    """
+    center = TRONDHEIM
+    e6 = RoadSegment(
+        "E6", center.destination(200.0, 1800.0), center.destination(20.0, 1800.0),
+        traffic_weight=1.0,
+    )
+    ring_road = RoadSegment(
+        "omkjoringsveien",
+        center.destination(140.0, 2500.0),
+        center.destination(60.0, 2500.0),
+        traffic_weight=0.8,
+    )
+    station_loc = center.destination(110.0, 900.0)  # "the only station"
+    nodes = [
+        NodePlacement("ctt-tr-01", station_loc, colocated_with_reference=True),
+        # Four along E6.
+        NodePlacement("ctt-tr-02", center.destination(200.0, 1200.0)),
+        NodePlacement("ctt-tr-03", center.destination(195.0, 500.0)),
+        NodePlacement("ctt-tr-04", center.destination(15.0, 700.0)),
+        NodePlacement("ctt-tr-05", center.destination(18.0, 1400.0)),
+        # Ring of residential-district nodes.
+        *[
+            NodePlacement(f"ctt-tr-{6 + i:02d}", loc)
+            for i, loc in enumerate(_ring(center, 7, 1900.0, start_bearing=30.0))
+        ],
+    ]
+    gateways = [
+        GatewayPlacement("gw-tr-sentrum", center.destination(45.0, 300.0), 40.0),
+        GatewayPlacement("gw-tr-tyholt", center.destination(100.0, 2100.0), 90.0),
+        GatewayPlacement("gw-tr-heimdal", center.destination(195.0, 2300.0), 60.0),
+    ]
+    return CityDeployment(
+        city="trondheim",
+        center=center,
+        nodes=tuple(nodes),
+        gateways=tuple(gateways),
+        roads=(e6, ring_road),
+        mean_temp_c=5.0,
+        environment_seed=seed,
+    )
+
+
+def vejle_deployment(seed: int = 13) -> CityDeployment:
+    """The 2-node Vejle pilot: a compact town-centre deployment."""
+    center = VEJLE
+    main_road = RoadSegment(
+        "vejlevej", center.destination(250.0, 1200.0), center.destination(70.0, 1200.0),
+        traffic_weight=0.9,
+    )
+    nodes = (
+        NodePlacement(
+            "ctt-vj-01",
+            center.destination(80.0, 400.0),
+            colocated_with_reference=True,
+        ),
+        NodePlacement("ctt-vj-02", center.destination(250.0, 800.0)),
+    )
+    gateways = (
+        GatewayPlacement("gw-vj-centrum", center.destination(0.0, 200.0), 35.0),
+    )
+    return CityDeployment(
+        city="vejle",
+        center=center,
+        nodes=nodes,
+        gateways=gateways,
+        roads=(main_road,),
+        mean_temp_c=8.5,
+        environment_seed=seed,
+    )

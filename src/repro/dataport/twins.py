@@ -1,0 +1,423 @@
+"""Digital twins: one actor per physical device.
+
+Paper §2.3: "Each device in the real world corresponds to a dedicated
+actor that acts as its digital twin ... It keeps track of its state in
+real-time, monitors all communication and triggers alarms if data is not
+received as expected."  And crucially: "As sensor nodes can adapt their
+frequency based on battery levels, a complex model of the sensor node
+and its status is needed for detection" — the sensor twin therefore
+mirrors the node's adaptive sampling policy to compute the *currently
+expected* reporting interval before declaring data missing.
+
+Hierarchy (paper: "Actors are organized hierarchically. On higher
+levels, failures can be grouped so that for example a distinction can be
+drawn between sensor failures versus a gateway outage"):
+
+    FleetSupervisor
+      +- sensor twins (one per node)
+      +- gateway twins (one per gateway)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lorawan import Measurements, ReceivedUplink
+from ..sensors.power import voltage_to_soc
+from .actors import Actor, ActorRef
+from .alarms import Alarm, AlarmKind, AlarmLog, Severity
+
+# ---------------------------------------------------------------------------
+# Messages
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UplinkObserved:
+    """A deduplicated uplink attributed to one sensor."""
+
+    node_id: str
+    received: ReceivedUplink
+    measurements: Measurements
+
+
+@dataclass(frozen=True)
+class GatewayHeard:
+    """One gateway appeared in an uplink's reception metadata."""
+
+    gateway_id: str
+    timestamp: int
+    rssi_dbm: float
+
+
+@dataclass(frozen=True)
+class HealthCheck:
+    """Periodic tick asking a twin to evaluate its liveness model."""
+
+
+@dataclass(frozen=True)
+class SensorOverdue:
+    node_id: str
+    last_seen: int | None
+    overdue_cycles: float
+    recent_gateways: frozenset[str]
+
+
+@dataclass(frozen=True)
+class SensorRecovered:
+    node_id: str
+
+
+@dataclass(frozen=True)
+class GatewaySilent:
+    gateway_id: str
+    last_seen: int | None
+
+
+@dataclass(frozen=True)
+class GatewayRecovered:
+    gateway_id: str
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TwinConfig:
+    """Detection parameters shared by the twin actors.
+
+    ``cycles_to_failure`` is the paper's "it takes some cycles to
+    determine a failure with certainty".
+    """
+
+    nominal_interval_s: int = 300
+    cycles_to_failure: float = 3.0
+    check_interval_s: int = 300
+    gateway_silence_s: int = 900
+    battery_low_v: float = 3.55
+    battery_critical_v: float = 3.30
+    # Mirror of the node's BatteryAdaptive policy.
+    low_soc: float = 0.25
+    critical_soc: float = 0.08
+    low_factor: int = 3
+    critical_factor: int = 12
+
+
+# ---------------------------------------------------------------------------
+# Twins
+# ---------------------------------------------------------------------------
+
+
+class SensorTwin(Actor):
+    """Virtual model of one sensor node."""
+
+    def __init__(self, node_id: str, config: TwinConfig, alarms: AlarmLog) -> None:
+        super().__init__()
+        self.node_id = node_id
+        self.config = config
+        self.alarms = alarms
+        self.last_seen: int | None = None
+        self.last_battery_v: float | None = None
+        self.last_measurements: Measurements | None = None
+        self.last_rssi_dbm: float | None = None
+        self.recent_gateways: set[str] = set()
+        self.uplinks = 0
+        self.overdue = False
+        self._observed_intervals: list[int] = []
+
+    def pre_start(self) -> None:
+        self.context.schedule_tell_every(self.config.check_interval_s, HealthCheck())
+
+    # -- the "complex model of the sensor node" -------------------------
+    def expected_interval(self) -> float:
+        """Currently expected reporting interval.
+
+        Combines the adaptive-policy mirror (battery level implies a
+        stretched interval) with the empirically observed cadence, taking
+        the more forgiving of the two so a twin never flags a node that
+        is merely slow by design.
+        """
+        policy = float(self.config.nominal_interval_s)
+        if self.last_battery_v is not None:
+            soc = voltage_to_soc(self.last_battery_v)
+            if soc <= self.config.critical_soc:
+                policy *= self.config.critical_factor
+            elif soc <= self.config.low_soc:
+                policy *= self.config.low_factor
+        if self._observed_intervals:
+            observed = sorted(self._observed_intervals)[
+                len(self._observed_intervals) // 2
+            ]
+            return max(policy, float(observed))
+        return policy
+
+    # -- behaviour --------------------------------------------------------
+    def receive(self, message, sender) -> None:
+        if isinstance(message, UplinkObserved):
+            self._on_uplink(message)
+        elif isinstance(message, HealthCheck):
+            self._check(self.context.now)
+
+    def _on_uplink(self, msg: UplinkObserved) -> None:
+        now = msg.received.received_at
+        if self.last_seen is not None:
+            interval = now - self.last_seen
+            if interval > 0:
+                self._observed_intervals.append(interval)
+                if len(self._observed_intervals) > 24:
+                    self._observed_intervals = self._observed_intervals[-24:]
+        self.last_seen = now
+        self.uplinks += 1
+        self.last_measurements = msg.measurements
+        self.last_battery_v = msg.measurements.battery_v
+        self.last_rssi_dbm = msg.received.best_reception.rssi_dbm
+        self.recent_gateways = set(msg.received.gateway_ids)
+
+        if self.overdue:
+            self.overdue = False
+            self.alarms.clear(AlarmKind.SENSOR_OVERDUE, self.node_id)
+            if self.context.parent:
+                self.context.parent.tell(SensorRecovered(self.node_id))
+        self._check_battery(now)
+
+    def _check_battery(self, now: int) -> None:
+        v = self.last_battery_v
+        if v is None:
+            return
+        if v <= self.config.battery_critical_v:
+            self.alarms.raise_alarm(
+                Alarm(
+                    AlarmKind.BATTERY_CRITICAL,
+                    self.node_id,
+                    Severity.CRITICAL,
+                    f"battery critical: {v:.2f} V",
+                    now,
+                )
+            )
+        elif v <= self.config.battery_low_v:
+            self.alarms.raise_alarm(
+                Alarm(
+                    AlarmKind.BATTERY_LOW,
+                    self.node_id,
+                    Severity.WARNING,
+                    f"battery low: {v:.2f} V",
+                    now,
+                )
+            )
+        else:
+            self.alarms.clear(AlarmKind.BATTERY_LOW, self.node_id)
+            self.alarms.clear(AlarmKind.BATTERY_CRITICAL, self.node_id)
+
+    def _check(self, now: int) -> None:
+        if self.last_seen is None:
+            return  # never joined; commissioning is not an outage
+        cycles = (now - self.last_seen) / self.expected_interval()
+        if cycles >= self.config.cycles_to_failure and not self.overdue:
+            self.overdue = True
+            if self.context.parent:
+                self.context.parent.tell(
+                    SensorOverdue(
+                        node_id=self.node_id,
+                        last_seen=self.last_seen,
+                        overdue_cycles=cycles,
+                        recent_gateways=frozenset(self.recent_gateways),
+                    )
+                )
+
+    def status(self) -> dict:
+        """Snapshot for the network visualization and wall display."""
+        return {
+            "node_id": self.node_id,
+            "last_seen": self.last_seen,
+            "uplinks": self.uplinks,
+            "battery_v": self.last_battery_v,
+            "rssi_dbm": self.last_rssi_dbm,
+            "overdue": self.overdue,
+            "gateways": sorted(self.recent_gateways),
+            "expected_interval_s": self.expected_interval(),
+        }
+
+
+class GatewayTwin(Actor):
+    """Virtual model of one gateway."""
+
+    def __init__(self, gateway_id: str, config: TwinConfig, alarms: AlarmLog) -> None:
+        super().__init__()
+        self.gateway_id = gateway_id
+        self.config = config
+        self.alarms = alarms
+        self.last_seen: int | None = None
+        self.frames = 0
+        self.silent = False
+        self.last_rssi_dbm: float | None = None
+
+    def pre_start(self) -> None:
+        self.context.schedule_tell_every(self.config.check_interval_s, HealthCheck())
+
+    def receive(self, message, sender) -> None:
+        if isinstance(message, GatewayHeard):
+            self.last_seen = message.timestamp
+            self.frames += 1
+            self.last_rssi_dbm = message.rssi_dbm
+            if self.silent:
+                self.silent = False
+                if self.context.parent:
+                    self.context.parent.tell(GatewayRecovered(self.gateway_id))
+        elif isinstance(message, HealthCheck):
+            self._check(self.context.now)
+
+    def _check(self, now: int) -> None:
+        if self.last_seen is None or self.silent:
+            return
+        if now - self.last_seen >= self.config.gateway_silence_s:
+            self.silent = True
+            if self.context.parent:
+                self.context.parent.tell(
+                    GatewaySilent(self.gateway_id, self.last_seen)
+                )
+
+    def status(self) -> dict:
+        return {
+            "gateway_id": self.gateway_id,
+            "last_seen": self.last_seen,
+            "frames": self.frames,
+            "silent": self.silent,
+        }
+
+
+class FleetSupervisor(Actor):
+    """Parent of all twins; groups failures hierarchically.
+
+    The paper's example: "a distinction can be drawn between sensor
+    failures versus a gateway outage that would make a set of sensors
+    invisible".  When every gateway a set of overdue sensors relied on is
+    silent, the supervisor raises one GATEWAY_OUTAGE alarm per gateway
+    instead of an alarm storm of per-sensor incidents.
+    """
+
+    def __init__(self, config: TwinConfig, alarms: AlarmLog) -> None:
+        super().__init__()
+        self.config = config
+        self.alarms = alarms
+        self.sensor_refs: dict[str, ActorRef] = {}
+        self.gateway_refs: dict[str, ActorRef] = {}
+        self._overdue: dict[str, SensorOverdue] = {}
+        self._silent_gateways: set[str] = set()
+
+    # -- registration -----------------------------------------------------
+    def register_sensor(self, node_id: str) -> ActorRef:
+        ref = self.context.spawn(
+            lambda: SensorTwin(node_id, self.config, self.alarms),
+            f"sensor-{node_id}",
+        )
+        self.sensor_refs[node_id] = ref
+        return ref
+
+    def register_gateway(self, gateway_id: str) -> ActorRef:
+        ref = self.context.spawn(
+            lambda: GatewayTwin(gateway_id, self.config, self.alarms),
+            f"gateway-{gateway_id}",
+        )
+        self.gateway_refs[gateway_id] = ref
+        return ref
+
+    # -- behaviour ----------------------------------------------------------
+    def receive(self, message, sender) -> None:
+        if isinstance(message, SensorOverdue):
+            self._overdue[message.node_id] = message
+            self._classify(message)
+        elif isinstance(message, SensorRecovered):
+            self._overdue.pop(message.node_id, None)
+        elif isinstance(message, GatewaySilent):
+            self._silent_gateways.add(message.gateway_id)
+            self.alarms.raise_alarm(
+                Alarm(
+                    AlarmKind.GATEWAY_OUTAGE,
+                    message.gateway_id,
+                    Severity.CRITICAL,
+                    f"gateway {message.gateway_id} silent "
+                    f"(last frame at {message.last_seen})",
+                    self.context.now,
+                )
+            )
+            # Reclassify already-flagged sensors: they may be victims.
+            for overdue in list(self._overdue.values()):
+                self._classify(overdue)
+        elif isinstance(message, GatewayRecovered):
+            self._silent_gateways.discard(message.gateway_id)
+            self.alarms.clear(AlarmKind.GATEWAY_OUTAGE, message.gateway_id)
+
+    def _classify(self, overdue: SensorOverdue) -> None:
+        """Per-sensor alarm only when the outage is not explained by
+        a silent gateway the sensor depended on."""
+        gateways = overdue.recent_gateways
+        explained = bool(gateways) and gateways <= self._silent_gateways
+        if explained:
+            # Grouped under the gateway alarm; clear any per-sensor alarm.
+            self.alarms.clear(AlarmKind.SENSOR_OVERDUE, overdue.node_id)
+            return
+        self.alarms.raise_alarm(
+            Alarm(
+                AlarmKind.SENSOR_OVERDUE,
+                overdue.node_id,
+                Severity.WARNING,
+                f"sensor {overdue.node_id} overdue "
+                f"({overdue.overdue_cycles:.1f} expected cycles missed)",
+                self.context.now,
+            )
+        )
+
+    # -- views ----------------------------------------------------------------
+    def overdue_sensors(self) -> list[str]:
+        return sorted(self._overdue)
+
+    def silent_gateways(self) -> list[str]:
+        return sorted(self._silent_gateways)
+
+
+class BackendTwin(Actor):
+    """Monitors the larger system: TTN backend and MQTT connection.
+
+    Receives heartbeats from the bridge; silence beyond the timeout
+    raises BACKEND_DOWN / MQTT_DOWN.
+    """
+
+    @dataclass(frozen=True)
+    class Heartbeat:
+        component: str  # "ttn" | "mqtt"
+        timestamp: int
+
+    def __init__(self, alarms: AlarmLog, timeout_s: int = 600, check_interval_s: int = 300) -> None:
+        super().__init__()
+        self.alarms = alarms
+        self.timeout_s = timeout_s
+        self.check_interval_s = check_interval_s
+        self.last_heartbeat: dict[str, int] = {}
+
+    def pre_start(self) -> None:
+        self.context.schedule_tell_every(self.check_interval_s, HealthCheck())
+
+    _KIND = {"ttn": AlarmKind.BACKEND_DOWN, "mqtt": AlarmKind.MQTT_DOWN}
+
+    def receive(self, message, sender) -> None:
+        if isinstance(message, BackendTwin.Heartbeat):
+            self.last_heartbeat[message.component] = message.timestamp
+            kind = self._KIND.get(message.component)
+            if kind is not None:
+                self.alarms.clear(kind, message.component)
+        elif isinstance(message, HealthCheck):
+            now = self.context.now
+            for component, last in self.last_heartbeat.items():
+                if now - last >= self.timeout_s:
+                    kind = self._KIND.get(component, AlarmKind.BACKEND_DOWN)
+                    self.alarms.raise_alarm(
+                        Alarm(
+                            kind,
+                            component,
+                            Severity.CRITICAL,
+                            f"{component} heartbeat missing for {now - last} s",
+                            now,
+                        )
+                    )

@@ -1,0 +1,82 @@
+"""External watchdog (the AppBeat role).
+
+Paper §2.3: "If the dataport itself fails, it is detected by an external
+watchdog service, in this case AppBeat."  The watchdog lives *outside*
+the actor system: it pings the dataport's health endpoint on a schedule
+and raises DATAPORT_DOWN after consecutive failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..simclock import Scheduler
+from .alarms import Alarm, AlarmKind, AlarmLog, Severity
+
+#: Returns True when the monitored service answered the ping.
+PingFunction = Callable[[], bool]
+
+
+@dataclass
+class WatchdogStats:
+    pings: int = 0
+    failures: int = 0
+    incidents: int = 0
+
+
+class Watchdog:
+    """Heartbeat checker for one service."""
+
+    def __init__(
+        self,
+        name: str,
+        ping: PingFunction,
+        alarms: AlarmLog,
+        *,
+        interval_s: int = 60,
+        failures_to_alarm: int = 3,
+    ) -> None:
+        if failures_to_alarm < 1:
+            raise ValueError("failures_to_alarm must be >= 1")
+        self.name = name
+        self._ping = ping
+        self._alarms = alarms
+        self.interval_s = interval_s
+        self.failures_to_alarm = failures_to_alarm
+        self._consecutive_failures = 0
+        self.down = False
+        self.stats = WatchdogStats()
+
+    def start(self, scheduler: Scheduler) -> None:
+        scheduler.call_every(self.interval_s, self.check)
+
+    def check(self, now: int) -> bool:
+        """One ping cycle; returns the ping outcome."""
+        self.stats.pings += 1
+        try:
+            ok = bool(self._ping())
+        except Exception:
+            ok = False
+        if ok:
+            self._consecutive_failures = 0
+            if self.down:
+                self.down = False
+                self._alarms.clear(AlarmKind.DATAPORT_DOWN, self.name)
+            return True
+        self.stats.failures += 1
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failures_to_alarm and not self.down:
+            self.down = True
+            self.stats.incidents += 1
+            self._alarms.raise_alarm(
+                Alarm(
+                    AlarmKind.DATAPORT_DOWN,
+                    self.name,
+                    Severity.CRITICAL,
+                    f"{self.name} failed {self._consecutive_failures} "
+                    "consecutive health checks",
+                    now,
+                )
+            )
+        return False

@@ -1,0 +1,37 @@
+"""Geodesic primitives: points, boxes, grids, GeoJSON export."""
+
+from .bbox import BoundingBox
+from .geojson import (
+    dumps,
+    feature_collection,
+    line_feature,
+    point_feature,
+    polygon_feature,
+)
+from .grid import Grid
+from .points import (
+    EARTH_RADIUS_M,
+    TRONDHEIM,
+    VEJLE,
+    GeoPoint,
+    destination_point,
+    haversine_m,
+    initial_bearing_deg,
+)
+
+__all__ = [
+    "BoundingBox",
+    "EARTH_RADIUS_M",
+    "GeoPoint",
+    "Grid",
+    "TRONDHEIM",
+    "VEJLE",
+    "destination_point",
+    "dumps",
+    "feature_collection",
+    "haversine_m",
+    "initial_bearing_deg",
+    "line_feature",
+    "point_feature",
+    "polygon_feature",
+]

@@ -1,0 +1,61 @@
+"""Minimal GeoJSON builders.
+
+The network visualization (paper Fig. 3) and dashboard maps export
+features for web maps; we emit plain ``dict`` structures that
+``json.dumps`` serializes to valid GeoJSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping
+
+from .points import GeoPoint
+
+
+def point_feature(point: GeoPoint, properties: Mapping[str, Any] | None = None) -> dict:
+    """A GeoJSON Point feature at ``point``."""
+    return {
+        "type": "Feature",
+        "geometry": {"type": "Point", "coordinates": [point.lon, point.lat]},
+        "properties": dict(properties or {}),
+    }
+
+
+def line_feature(
+    points: Iterable[GeoPoint], properties: Mapping[str, Any] | None = None
+) -> dict:
+    """A GeoJSON LineString feature through ``points`` (at least two)."""
+    coords = [[p.lon, p.lat] for p in points]
+    if len(coords) < 2:
+        raise ValueError("a LineString needs at least two points")
+    return {
+        "type": "Feature",
+        "geometry": {"type": "LineString", "coordinates": coords},
+        "properties": dict(properties or {}),
+    }
+
+
+def polygon_feature(
+    ring: Iterable[GeoPoint], properties: Mapping[str, Any] | None = None
+) -> dict:
+    """A GeoJSON Polygon feature; the ring is closed automatically."""
+    coords = [[p.lon, p.lat] for p in ring]
+    if len(coords) < 3:
+        raise ValueError("a Polygon ring needs at least three points")
+    if coords[0] != coords[-1]:
+        coords.append(coords[0])
+    return {
+        "type": "Feature",
+        "geometry": {"type": "Polygon", "coordinates": [coords]},
+        "properties": dict(properties or {}),
+    }
+
+
+def feature_collection(features: Iterable[dict]) -> dict:
+    return {"type": "FeatureCollection", "features": list(features)}
+
+
+def dumps(collection: Mapping[str, Any], indent: int | None = None) -> str:
+    """Serialize a GeoJSON structure to a string."""
+    return json.dumps(collection, indent=indent, sort_keys=False)

@@ -1,0 +1,138 @@
+"""National GHG emission statistics (Table 1, row 6).
+
+"Down-scaled national GHG emission data, often with high uncertainties."
+National inventories publish *annual* totals per sector; municipal
+estimates are produced by proxy downscaling (population for heating,
+vehicle-kilometres for transport, employment for industry), each proxy
+adding uncertainty on top of the inventory's own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simclock import from_datetime
+from .base import Observation, SourceType
+import datetime as _dt
+
+#: Sector shares of a typical national inventory (fractions of total).
+DEFAULT_SECTORS = {
+    "road_transport": 0.19,
+    "heating": 0.09,
+    "industry": 0.27,
+    "energy_supply": 0.28,
+    "agriculture": 0.09,
+    "waste": 0.04,
+    "other": 0.04,
+}
+
+#: Relative 1-sigma uncertainty of the downscaled municipal estimate.
+DOWNSCALE_RELATIVE_SIGMA = {
+    "road_transport": 0.18,
+    "heating": 0.30,
+    "industry": 0.40,
+    "energy_supply": 0.35,
+    "agriculture": 0.45,
+    "waste": 0.50,
+    "other": 0.60,
+}
+
+
+@dataclass(frozen=True)
+class Municipality:
+    """Downscaling proxies for one municipality."""
+
+    name: str
+    population: int
+    national_population: int
+    vehicle_km_share: float | None = None  # overrides population share
+    industry_share: float | None = None
+
+    @property
+    def population_share(self) -> float:
+        return self.population / self.national_population
+
+
+class NationalStatsConnector:
+    """Annual sector emissions, downscaled to a municipality."""
+
+    source_type = SourceType.NATIONAL_STATISTICS
+
+    def __init__(
+        self,
+        municipality: Municipality,
+        national_total_kt: float = 52_000.0,  # Norway-scale, kt CO2e/yr
+        sectors: dict[str, float] | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.name = f"stats:{municipality.name}"
+        self.municipality = municipality
+        self.national_total_kt = national_total_kt
+        self.sectors = dict(sectors or DEFAULT_SECTORS)
+        total_share = sum(self.sectors.values())
+        if not 0.99 <= total_share <= 1.01:
+            raise ValueError(f"sector shares must sum to ~1, got {total_share}")
+        self._seed = seed
+
+    def cadence_s(self) -> int:
+        return 365 * 86400
+
+    def _sector_share(self, sector: str) -> float:
+        m = self.municipality
+        if sector == "road_transport" and m.vehicle_km_share is not None:
+            return m.vehicle_km_share
+        if sector == "industry" and m.industry_share is not None:
+            return m.industry_share
+        return m.population_share
+
+    def downscale_year(self, year: int) -> dict[str, tuple[float, float]]:
+        """Municipal estimate per sector: ``{sector: (kt, sigma_kt)}``.
+
+        A small seeded perturbation models inventory revisions between
+        years; the large relative sigmas are the headline point — the
+        paper motivates ground sensing precisely because these numbers
+        are too uncertain to steer street-level action.
+        """
+        rng = np.random.default_rng([self._seed, year])
+        out: dict[str, tuple[float, float]] = {}
+        for sector, national_share in self.sectors.items():
+            national_kt = self.national_total_kt * national_share
+            national_kt *= 1.0 + float(rng.normal(0.0, 0.02))
+            municipal_kt = national_kt * self._sector_share(sector)
+            sigma = municipal_kt * DOWNSCALE_RELATIVE_SIGMA[sector]
+            out[sector] = (municipal_kt, sigma)
+        return out
+
+    def fetch(self, start: int, end: int) -> list[Observation]:
+        """One observation per sector per inventory year in range."""
+        out: list[Observation] = []
+        first_year = _dt.datetime.fromtimestamp(start, _dt.timezone.utc).year
+        last_year = _dt.datetime.fromtimestamp(end, _dt.timezone.utc).year
+        for year in range(first_year, last_year + 1):
+            ts = from_datetime(_dt.datetime(year, 1, 1))
+            if not start <= ts <= end:
+                continue
+            for sector, (kt, sigma) in sorted(self.downscale_year(year).items()):
+                out.append(
+                    Observation(
+                        source=self.name,
+                        source_type=self.source_type,
+                        quantity=f"ghg_{sector}_ktco2e",
+                        timestamp=ts,
+                        value=kt,
+                        unit="kt CO2e/yr",
+                        location=None,
+                        uncertainty=sigma,
+                        metadata={"year": year, "sector": sector},
+                    )
+                )
+        return out
+
+    def total_with_uncertainty(self, year: int) -> tuple[float, float]:
+        """Municipal total and combined sigma (sectors independent)."""
+        per_sector = self.downscale_year(year)
+        total = sum(kt for kt, _ in per_sector.values())
+        sigma = float(np.sqrt(sum(s**2 for _, s in per_sector.values())))
+        return total, sigma

@@ -1,0 +1,97 @@
+"""NILU official air-quality stations (Table 1, row 1).
+
+"Ground truth for certain pollution types, grounding and calibrating
+measurements to high-quality reference stations."  The paper co-locates
+one CTT node with "the only station in the pilot area".
+
+The connector models a reference-grade station: hourly averages of the
+true field, measured through :data:`~repro.sensors.channels.REFERENCE_SPECS`
+channels (an order of magnitude cleaner than the low-cost nodes, no
+drift).  NILU publishes NO2/PM10/PM2.5 (not CO2 — national networks
+rarely measure it), which is why satellite grounding exists as a
+separate source.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geo import GeoPoint
+from ..sensors.channels import REFERENCE_SPECS, make_channels
+from ..sensors.environment import UrbanEnvironment
+from ..simclock import HOUR, floor_to
+from .base import Observation, SourceType
+
+#: Quantities a NILU station publishes, with units.
+STATION_QUANTITIES = {
+    "no2_ugm3": "ug/m3",
+    "pm10_ugm3": "ug/m3",
+    "pm25_ugm3": "ug/m3",
+    "temperature_c": "C",
+}
+
+
+class NiluStation:
+    """One reference station publishing hourly averages."""
+
+    source_type = SourceType.OFFICIAL_AIR_QUALITY
+
+    def __init__(
+        self,
+        station_id: str,
+        location: GeoPoint,
+        environment: UrbanEnvironment,
+        seed: int = 0,
+        averaging_samples: int = 12,
+    ) -> None:
+        self.name = f"nilu:{station_id}"
+        self.station_id = station_id
+        self.location = location
+        self.environment = environment
+        self._channels = make_channels(
+            {k: REFERENCE_SPECS[k] for k in STATION_QUANTITIES},
+            np.random.default_rng([seed, 0x11]),
+        )
+        self.averaging_samples = averaging_samples
+
+    def cadence_s(self) -> int:
+        return HOUR
+
+    def _hourly_average(self, hour_start: int, quantity: str) -> float:
+        """Average of sub-samples across the hour through the channel."""
+        step = HOUR // self.averaging_samples
+        total = 0.0
+        for k in range(self.averaging_samples):
+            ts = hour_start + k * step
+            truth = self.environment.true_values(ts, self.location)[quantity]
+            total += self._channels[quantity].measure(
+                truth, elapsed_days=0.0, ambient_temp_c=truth
+                if quantity == "temperature_c"
+                else 20.0,
+            )
+        return total / self.averaging_samples
+
+    def fetch(self, start: int, end: int) -> list[Observation]:
+        """Hourly observations, timestamped at the hour start."""
+        out: list[Observation] = []
+        hour = floor_to(start, HOUR)
+        if hour < start:
+            hour += HOUR
+        while hour <= end:
+            for quantity, unit in STATION_QUANTITIES.items():
+                value = self._hourly_average(hour, quantity)
+                out.append(
+                    Observation(
+                        source=self.name,
+                        source_type=self.source_type,
+                        quantity=quantity,
+                        timestamp=hour,
+                        value=value,
+                        unit=unit,
+                        location=self.location,
+                        uncertainty=REFERENCE_SPECS[quantity].noise_sigma,
+                        metadata={"station_id": self.station_id},
+                    )
+                )
+            hour += HOUR
+        return out

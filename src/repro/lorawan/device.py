@@ -1,0 +1,91 @@
+"""Device-side LoRaWAN MAC: frame counters, duty cycle, transmission.
+
+A :class:`LoraDevice` is the radio half of a sensor node.  It owns the
+frame counter, enforces the EU868 duty cycle (deferring frames that would
+bust the budget), and hands frames to the shared :class:`RadioPlane`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geo import GeoPoint
+from .airtime import DutyCycle, airtime_s, validate_sf
+from .frames import MAC_OVERHEAD, GatewayReception, Uplink
+from .gateway import RadioPlane
+from .radio import DEFAULT_TX_POWER_DBM
+
+
+@dataclass
+class TransmitResult:
+    """Outcome of one send attempt."""
+
+    uplink: Uplink | None
+    receptions: list[GatewayReception]
+    deferred_until: float | None = None
+
+    @property
+    def delivered(self) -> bool:
+        return bool(self.receptions)
+
+    @property
+    def blocked_by_duty_cycle(self) -> bool:
+        return self.uplink is None
+
+
+class LoraDevice:
+    """One device's MAC layer bound to a radio plane."""
+
+    def __init__(
+        self,
+        dev_eui: str,
+        location: GeoPoint,
+        plane: RadioPlane,
+        sf: int = 9,
+        tx_power_dbm: float = DEFAULT_TX_POWER_DBM,
+        duty_cycle: DutyCycle | None = None,
+    ) -> None:
+        validate_sf(sf)
+        self.dev_eui = dev_eui
+        self.location = location
+        self.plane = plane
+        self.sf = sf
+        self.tx_power_dbm = tx_power_dbm
+        self.duty_cycle = duty_cycle if duty_cycle is not None else DutyCycle()
+        self.fcnt = 0
+        self.sent = 0
+        self.duty_blocked = 0
+
+    def set_sf(self, sf: int) -> None:
+        """Change data rate (ADR downlink in a real network)."""
+        validate_sf(sf)
+        self.sf = sf
+
+    def send(self, payload: bytes, now: int) -> TransmitResult:
+        """Attempt to transmit ``payload`` at simulated time ``now``.
+
+        Frames blocked by the duty cycle are *dropped* (CTT nodes sample
+        again five minutes later rather than queueing stale air samples);
+        the result carries the earliest time a send would have fit.
+        """
+        phy_size = len(payload) + MAC_OVERHEAD
+        duration = airtime_s(phy_size, self.sf)
+        if not self.duty_cycle.can_send(now, duration):
+            self.duty_blocked += 1
+            return TransmitResult(
+                uplink=None,
+                receptions=[],
+                deferred_until=self.duty_cycle.next_allowed(now, duration),
+            )
+        uplink = Uplink(
+            dev_eui=self.dev_eui,
+            fcnt=self.fcnt,
+            payload=payload,
+            sf=self.sf,
+            sent_at=int(now),
+        )
+        self.fcnt += 1
+        self.sent += 1
+        self.duty_cycle.record(now, duration)
+        receptions = self.plane.transmit(uplink, self.location, self.tx_power_dbm)
+        return TransmitResult(uplink=uplink, receptions=receptions)

@@ -1,0 +1,163 @@
+"""Network server: the TTN-equivalent tier.
+
+Deduplicates uplinks heard by multiple gateways, checks frame-counter
+monotonicity (replay protection), runs a simple ADR loop, and forwards
+decoded uplinks — with full gateway metadata — to subscribers, normally
+the MQTT bridge.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .frames import GatewayReception, ReceivedUplink, Uplink
+
+UplinkHandler = Callable[[ReceivedUplink], None]
+
+
+@dataclass
+class DeviceSession:
+    """Per-device state the network server maintains."""
+
+    dev_eui: str
+    last_fcnt: int = -1
+    uplinks: int = 0
+    duplicates_suppressed: int = 0
+    replays_rejected: int = 0
+    # ADR bookkeeping: recent best-gateway SNRs.
+    recent_snrs: list[float] = field(default_factory=list)
+
+
+class NetworkServer:
+    """Receives per-gateway frames, dedups, and emits application uplinks.
+
+    In the simulator the radio plane already aggregates receptions per
+    transmission, so :meth:`ingest` takes the uplink plus its reception
+    list; duplicates arriving through retransmission paths are handled by
+    the frame-counter check.
+    """
+
+    #: Keep this many SNR samples per device for ADR decisions.
+    ADR_WINDOW = 20
+    #: SNR headroom (dB) beyond the demodulation floor before stepping SF down.
+    ADR_MARGIN_DB = 10.0
+
+    def __init__(self, online: bool = True) -> None:
+        self._sessions: dict[str, DeviceSession] = {}
+        self._handlers: list[UplinkHandler] = []
+        self.online = online
+        self.forwarded = 0
+        self.dropped_while_offline = 0
+
+    def on_uplink(self, handler: UplinkHandler) -> None:
+        """Register a downstream consumer (e.g. the MQTT bridge)."""
+        self._handlers.append(handler)
+
+    def session(self, dev_eui: str) -> DeviceSession:
+        if dev_eui not in self._sessions:
+            self._sessions[dev_eui] = DeviceSession(dev_eui)
+        return self._sessions[dev_eui]
+
+    def sessions(self) -> list[DeviceSession]:
+        return list(self._sessions.values())
+
+    def ingest(
+        self, uplink: Uplink, receptions: list[GatewayReception], now: int
+    ) -> ReceivedUplink | None:
+        """Process one transmission; returns the deduplicated uplink or
+        None when it was rejected (no receptions, replay, server down)."""
+        if not self.online:
+            self.dropped_while_offline += 1
+            return None
+        if not receptions:
+            return None
+        session = self.session(uplink.dev_eui)
+        if uplink.fcnt <= session.last_fcnt:
+            session.replays_rejected += 1
+            return None
+        session.last_fcnt = uplink.fcnt
+        session.uplinks += 1
+        session.duplicates_suppressed += max(0, len(receptions) - 1)
+
+        received = ReceivedUplink(
+            uplink=uplink,
+            receptions=tuple(sorted(receptions, key=lambda r: -r.rssi_dbm)),
+            received_at=int(now),
+        )
+        session.recent_snrs.append(received.best_reception.snr_db)
+        if len(session.recent_snrs) > self.ADR_WINDOW:
+            session.recent_snrs = session.recent_snrs[-self.ADR_WINDOW :]
+
+        for handler in self._handlers:
+            handler(received)
+        self.forwarded += 1
+        return received
+
+    def adr_recommendation(self, dev_eui: str) -> int | None:
+        """Recommended SF from recent link quality, or None (keep current).
+
+        Mimics TTN's ADR: take the max SNR over the window, subtract the
+        margin, and pick the fastest SF whose demodulation floor still
+        clears.  Conservative: requires a full window of samples.
+        """
+        from .airtime import REQUIRED_SNR_DB
+
+        session = self._sessions.get(dev_eui)
+        if session is None or len(session.recent_snrs) < self.ADR_WINDOW:
+            return None
+        usable = max(session.recent_snrs) - self.ADR_MARGIN_DB
+        for sf in (7, 8, 9, 10, 11, 12):
+            if usable >= REQUIRED_SNR_DB[sf]:
+                return sf
+        return 12
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "devices": len(self._sessions),
+            "forwarded": self.forwarded,
+            "replays_rejected": sum(
+                s.replays_rejected for s in self._sessions.values()
+            ),
+            "duplicates_suppressed": sum(
+                s.duplicates_suppressed for s in self._sessions.values()
+            ),
+            "dropped_while_offline": self.dropped_while_offline,
+        }
+
+
+def uplink_to_json(received: ReceivedUplink) -> str:
+    """Serialize an uplink the way the TTN MQTT bridge would (JSON)."""
+    doc = {
+        "dev_eui": received.uplink.dev_eui,
+        "fcnt": received.uplink.fcnt,
+        "sf": received.uplink.sf,
+        "sent_at": received.uplink.sent_at,
+        "received_at": received.received_at,
+        "payload_hex": received.uplink.payload.hex(),
+        "gateways": [
+            {"id": r.gateway_id, "rssi": r.rssi_dbm, "snr": r.snr_db}
+            for r in received.receptions
+        ],
+    }
+    return json.dumps(doc, sort_keys=True)
+
+
+def uplink_from_json(text: str) -> ReceivedUplink:
+    """Inverse of :func:`uplink_to_json`."""
+    doc = json.loads(text)
+    uplink = Uplink(
+        dev_eui=doc["dev_eui"],
+        fcnt=int(doc["fcnt"]),
+        payload=bytes.fromhex(doc["payload_hex"]),
+        sf=int(doc["sf"]),
+        sent_at=int(doc["sent_at"]),
+    )
+    receptions = tuple(
+        GatewayReception(g["id"], float(g["rssi"]), float(g["snr"]))
+        for g in doc["gateways"]
+    )
+    return ReceivedUplink(
+        uplink=uplink, receptions=receptions, received_at=int(doc["received_at"])
+    )

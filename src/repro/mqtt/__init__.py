@@ -1,0 +1,17 @@
+"""In-process MQTT-style message bus (the CTT event backbone)."""
+
+from .broker import Broker, Client, Message, MqttError, Subscription
+from .topics import InvalidTopic, join, topic_matches, validate_filter, validate_topic
+
+__all__ = [
+    "Broker",
+    "Client",
+    "InvalidTopic",
+    "Message",
+    "MqttError",
+    "Subscription",
+    "join",
+    "topic_matches",
+    "validate_filter",
+    "validate_topic",
+]

@@ -1,0 +1,78 @@
+"""MQTT topic names and wildcard matching.
+
+Implements the MQTT 3.1.1 topic rules the CTT backbone relies on:
+``/``-separated levels, single-level wildcard ``+`` and multi-level
+wildcard ``#`` (only as the final level) in subscription filters.
+"""
+
+from __future__ import annotations
+
+
+class InvalidTopic(ValueError):
+    """Topic or filter violates MQTT rules."""
+
+
+def validate_topic(topic: str) -> str:
+    """Validate a *publish* topic (no wildcards allowed)."""
+    _validate_common(topic, "topic")
+    if "+" in topic or "#" in topic:
+        raise InvalidTopic(f"publish topic may not contain wildcards: {topic!r}")
+    return topic
+
+
+def validate_filter(filter_: str) -> str:
+    """Validate a *subscription* filter (wildcards allowed, per spec)."""
+    _validate_common(filter_, "filter")
+    levels = filter_.split("/")
+    for i, level in enumerate(levels):
+        if level == "#":
+            if i != len(levels) - 1:
+                raise InvalidTopic(f"'#' must be the final level: {filter_!r}")
+        elif level == "+":
+            continue
+        elif "#" in level or "+" in level:
+            raise InvalidTopic(
+                f"wildcard must occupy a whole level: {filter_!r}"
+            )
+    return filter_
+
+
+def _validate_common(s: str, what: str) -> None:
+    if not isinstance(s, str) or not s:
+        raise InvalidTopic(f"{what} must be a non-empty string: {s!r}")
+    if "\x00" in s:
+        raise InvalidTopic(f"{what} may not contain NUL: {s!r}")
+    if len(s.encode("utf-8")) > 65535:
+        raise InvalidTopic(f"{what} too long")
+
+
+def topic_matches(filter_: str, topic: str) -> bool:
+    """True when ``topic`` matches subscription ``filter_``.
+
+    Implements the spec corner cases: ``#`` matches the parent level too
+    (``"a/#"`` matches ``"a"``), and topics starting with ``$`` (broker
+    internals) are never matched by filters starting with a wildcard.
+    """
+    if topic.startswith("$") and (filter_.startswith("#") or filter_.startswith("+")):
+        return False
+    f_levels = filter_.split("/")
+    t_levels = topic.split("/")
+    i = 0
+    for i, f in enumerate(f_levels):
+        if f == "#":
+            return True
+        if i >= len(t_levels):
+            return False
+        if f == "+":
+            continue
+        if f != t_levels[i]:
+            return False
+    if len(t_levels) == len(f_levels):
+        return True
+    # "a/#" also matches "a": one trailing level that is exactly "#".
+    return len(t_levels) == len(f_levels) - 1 and f_levels[-1] == "#"
+
+
+def join(*levels: str) -> str:
+    """Join topic levels, validating the result as a publish topic."""
+    return validate_topic("/".join(levels))

@@ -1,0 +1,59 @@
+"""Sensor nodes and the ground-truth urban environment they observe."""
+
+from .channels import (
+    LOW_COST_SPECS,
+    REFERENCE_SPECS,
+    Channel,
+    ChannelSpec,
+    make_channels,
+)
+from .environment import (
+    EmissionField,
+    PollutionInjection,
+    RoadSegment,
+    SmoothNoise,
+    TrafficIntensity,
+    UrbanEnvironment,
+    Weather,
+    WeatherState,
+)
+from .faults import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    apply_channel_faults,
+    random_fault_plan,
+)
+from .node import NodeStats, SensorNode
+from .power import Battery, PowerSpec, soc_to_voltage, voltage_to_soc
+from .sampling import BatteryAdaptive, DEFAULT_INTERVAL_S, FixedInterval
+
+__all__ = [
+    "Battery",
+    "BatteryAdaptive",
+    "Channel",
+    "ChannelSpec",
+    "DEFAULT_INTERVAL_S",
+    "EmissionField",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FixedInterval",
+    "LOW_COST_SPECS",
+    "NodeStats",
+    "PollutionInjection",
+    "PowerSpec",
+    "REFERENCE_SPECS",
+    "RoadSegment",
+    "SensorNode",
+    "SmoothNoise",
+    "TrafficIntensity",
+    "UrbanEnvironment",
+    "Weather",
+    "WeatherState",
+    "apply_channel_faults",
+    "make_channels",
+    "random_fault_plan",
+    "soc_to_voltage",
+    "voltage_to_soc",
+]

@@ -1,0 +1,384 @@
+"""Ground-truth urban environment: weather, traffic, and emission fields.
+
+Everything the deployed system *observes* — sensor nodes, the official
+NILU station, the OCO-2 satellite, the here.com traffic feed — samples
+this shared synthetic world.  That layering reproduces the paper's data
+situation: heterogeneous observations of one underlying city, with each
+observer adding its own error, cadence, and geometry.
+
+Design notes
+------------
+* Deterministic random access: any quantity can be evaluated at any
+  ``(timestamp, location)`` without simulating forward, via value-noise
+  (seeded Gaussian knots + cosine interpolation).  Two evaluations of the
+  same instant always agree, so a sensor and a reference station
+  co-located at the same point see the same truth.
+* The CO2 field is deliberately **multi-factor** (background + biosphere
+  diurnal cycle + inversion-driven accumulation + a *small* traffic term
+  + plume noise), because the paper's Fig. 5 finding is that "traffic is
+  not the only factor that accounts for the dynamics of the CO2
+  emission ... they exhibit different patterns, and have no apparent
+  correlation".  NO2 and PM are built traffic-dominated, by contrast.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geo import GeoPoint
+from ..simclock import HOUR, day_of_year, hour_of_day, is_weekend
+from ..simclock.sun import solar_irradiance_wm2
+
+
+class SmoothNoise:
+    """Deterministic, smooth 1-D value noise.
+
+    Gaussian knots every ``knot_spacing`` seconds, derived from
+    ``(seed, knot_index)`` so any timestamp is random-accessible; cosine
+    interpolation between knots keeps the signal C1-smooth.  Used for
+    synoptic weather variation, plume wander, etc.
+    """
+
+    def __init__(self, seed: int, knot_spacing: int, sigma: float = 1.0) -> None:
+        if knot_spacing <= 0:
+            raise ValueError("knot_spacing must be positive")
+        self._seed = int(seed)
+        self._spacing = int(knot_spacing)
+        self._sigma = float(sigma)
+        self._cache: dict[int, float] = {}
+
+    def _knot(self, index: int) -> float:
+        value = self._cache.get(index)
+        if value is None:
+            rng = np.random.default_rng([self._seed, index & 0xFFFFFFFF, index >> 32 & 0xFFFFFFFF])
+            value = float(rng.normal(0.0, self._sigma))
+            if len(self._cache) > 100_000:
+                self._cache.clear()
+            self._cache[index] = value
+        return value
+
+    def __call__(self, timestamp: int) -> float:
+        idx, frac = divmod(int(timestamp), self._spacing)
+        a = self._knot(idx)
+        b = self._knot(idx + 1)
+        t = frac / self._spacing
+        w = (1.0 - math.cos(math.pi * t)) / 2.0  # cosine ease
+        return a * (1.0 - w) + b * w
+
+
+@dataclass(frozen=True)
+class WeatherState:
+    """Instantaneous weather at one location."""
+
+    temperature_c: float
+    pressure_hpa: float
+    humidity_pct: float
+    wind_speed_ms: float
+    cloud_cover: float  # 0..1
+    irradiance_wm2: float
+
+
+class Weather:
+    """City-scale ground-truth weather.
+
+    Seasonal + diurnal temperature structure for a Nordic coastal city,
+    synoptic (multi-day) pressure systems, humidity anti-correlated with
+    temperature, wind and cloud driven by smooth noise.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        lat: float,
+        lon: float,
+        mean_temp_c: float = 5.0,
+        seasonal_amplitude_c: float = 9.0,
+        diurnal_amplitude_c: float = 3.5,
+    ) -> None:
+        self.lat = lat
+        self.lon = lon
+        self.mean_temp_c = mean_temp_c
+        self.seasonal_amplitude_c = seasonal_amplitude_c
+        self.diurnal_amplitude_c = diurnal_amplitude_c
+        self._temp_noise = SmoothNoise(seed * 11 + 1, 6 * HOUR, sigma=2.0)
+        self._pressure_noise = SmoothNoise(seed * 11 + 2, 18 * HOUR, sigma=9.0)
+        self._humidity_noise = SmoothNoise(seed * 11 + 3, 4 * HOUR, sigma=8.0)
+        self._wind_noise = SmoothNoise(seed * 11 + 4, 3 * HOUR, sigma=1.0)
+        self._cloud_noise = SmoothNoise(seed * 11 + 5, 5 * HOUR, sigma=1.0)
+
+    def temperature_c(self, timestamp: int) -> float:
+        doy = day_of_year(timestamp)
+        seasonal = -math.cos(2.0 * math.pi * (doy - 15) / 365.0)
+        hod = hour_of_day(timestamp)
+        diurnal = -math.cos(2.0 * math.pi * (hod - 3.0) / 24.0)
+        return (
+            self.mean_temp_c
+            + self.seasonal_amplitude_c * seasonal
+            + self.diurnal_amplitude_c * diurnal
+            + self._temp_noise(timestamp)
+        )
+
+    def pressure_hpa(self, timestamp: int) -> float:
+        return 1013.0 + self._pressure_noise(timestamp)
+
+    def humidity_pct(self, timestamp: int) -> float:
+        hod = hour_of_day(timestamp)
+        diurnal = 8.0 * math.cos(2.0 * math.pi * (hod - 4.0) / 24.0)
+        value = 78.0 + diurnal + self._humidity_noise(timestamp)
+        return min(100.0, max(15.0, value))
+
+    def wind_speed_ms(self, timestamp: int) -> float:
+        # Log-normal-ish: positive, occasionally gusty.
+        return max(0.1, 3.5 * math.exp(0.45 * self._wind_noise(timestamp)) - 0.5)
+
+    def cloud_cover(self, timestamp: int) -> float:
+        # Squash smooth noise into [0, 1] with a bias towards cloudy
+        # (Nordic coastal climate).
+        return 1.0 / (1.0 + math.exp(-(self._cloud_noise(timestamp) + 0.4)))
+
+    def irradiance_wm2(self, timestamp: int) -> float:
+        return solar_irradiance_wm2(
+            timestamp, self.lat, self.lon, self.cloud_cover(timestamp)
+        )
+
+    def state(self, timestamp: int) -> WeatherState:
+        return WeatherState(
+            temperature_c=self.temperature_c(timestamp),
+            pressure_hpa=self.pressure_hpa(timestamp),
+            humidity_pct=self.humidity_pct(timestamp),
+            wind_speed_ms=self.wind_speed_ms(timestamp),
+            cloud_cover=self.cloud_cover(timestamp),
+            irradiance_wm2=self.irradiance_wm2(timestamp),
+        )
+
+
+class TrafficIntensity:
+    """Ground-truth traffic intensity in [0, 1] for a road segment.
+
+    Weekday double peak (morning/evening rush), flatter weekend profile,
+    plus slow stochastic variation (events, weather).  The here.com jam
+    factor and municipal counters both derive from this signal.
+    """
+
+    def __init__(self, seed: int, peak_sharpness: float = 8.0) -> None:
+        self._noise = SmoothNoise(seed * 17 + 7, 2 * HOUR, sigma=0.1)
+        self.peak_sharpness = peak_sharpness
+
+    def __call__(self, timestamp: int) -> float:
+        hod = hour_of_day(timestamp)
+        if is_weekend(timestamp):
+            base = 0.18 + 0.22 * math.exp(
+                -((hod - 13.5) ** 2) / (2 * 3.5**2)
+            )
+        else:
+            morning = 0.55 * math.exp(-((hod - 8.0) ** 2) / (2 * 1.3**2))
+            evening = 0.60 * math.exp(-((hod - 16.2) ** 2) / (2 * 1.6**2))
+            base = 0.12 + morning + evening
+        night_damp = 0.35 + 0.65 / (1.0 + math.exp(-(hod - 5.2) * 2.0))
+        value = base * night_damp + self._noise(timestamp)
+        return min(1.0, max(0.0, value))
+
+
+@dataclass(frozen=True)
+class RoadSegment:
+    """A road the emission field couples to."""
+
+    name: str
+    start: GeoPoint
+    end: GeoPoint
+    traffic_weight: float = 1.0  # relative volume
+
+    def distance_m(self, point: GeoPoint) -> float:
+        """Distance from ``point`` to the segment (flat-earth approx).
+
+        City-scale segments are < 5 km, so projecting to a local
+        tangent plane is accurate to well under a metre.
+        """
+        lat0 = math.radians((self.start.lat + self.end.lat) / 2.0)
+        mx = 111_320.0 * math.cos(lat0)
+        my = 110_540.0
+        ax, ay = self.start.lon * mx, self.start.lat * my
+        bx, by = self.end.lon * mx, self.end.lat * my
+        px, py = point.lon * mx, point.lat * my
+        dx, dy = bx - ax, by - ay
+        seg_len2 = dx * dx + dy * dy
+        if seg_len2 == 0.0:
+            return math.hypot(px - ax, py - ay)
+        t = max(0.0, min(1.0, ((px - ax) * dx + (py - ay) * dy) / seg_len2))
+        cx, cy = ax + t * dx, ay + t * dy
+        return math.hypot(px - cx, py - cy)
+
+
+class EmissionField:
+    """Pollutant concentration fields over the city.
+
+    CO2 (ppm): global background + biosphere diurnal cycle (night-time
+    respiration maximum, afternoon photosynthetic drawdown) + stagnation
+    accumulation when wind is low and the boundary layer is shallow
+    (cold, stable nights) + a *small* traffic proximity term + plume
+    noise.  NO2 and PM (µg/m³): traffic-dominated with wind dispersal,
+    plus a residential wood-burning evening term for PM in winter.
+    """
+
+    CO2_BACKGROUND_PPM = 408.0
+
+    def __init__(
+        self,
+        seed: int,
+        weather: Weather,
+        traffic: TrafficIntensity,
+        roads: list[RoadSegment] | None = None,
+    ) -> None:
+        self.weather = weather
+        self.traffic = traffic
+        self.roads = list(roads or [])
+        self._co2_plume = SmoothNoise(seed * 23 + 1, HOUR, sigma=6.0)
+        self._no2_plume = SmoothNoise(seed * 23 + 2, HOUR, sigma=3.0)
+        self._pm_plume = SmoothNoise(seed * 23 + 3, 2 * HOUR, sigma=2.5)
+
+    # -- helpers -----------------------------------------------------------
+    def _road_proximity(self, location: GeoPoint) -> float:
+        """Traffic exposure factor in [0, 1]: 1 on the road, ~0 beyond 300 m."""
+        if not self.roads:
+            return 0.3  # generic urban exposure when no road map is given
+        exposure = 0.0
+        for road in self.roads:
+            d = road.distance_m(location)
+            exposure += road.traffic_weight * math.exp(-d / 120.0)
+        return min(1.0, exposure)
+
+    def _stagnation(self, timestamp: int) -> float:
+        """Pollution accumulation factor from low wind + stable air, >= ~0.5."""
+        wind = self.weather.wind_speed_ms(timestamp)
+        dispersal = 1.0 / (1.0 + 0.55 * wind)
+        temp = self.weather.temperature_c(timestamp)
+        inversion = 1.0 + max(0.0, -temp) * 0.035  # cold air pools pollutants
+        return dispersal * inversion
+
+    # -- fields ------------------------------------------------------------
+    def co2_ppm(self, timestamp: int, location: GeoPoint) -> float:
+        hod = hour_of_day(timestamp)
+        # Biosphere: respiration peaks pre-dawn, drawdown mid-afternoon.
+        biosphere = 14.0 * math.cos(2.0 * math.pi * (hod - 4.5) / 24.0)
+        stagnation = 30.0 * (self._stagnation(timestamp) - 0.5)
+        traffic_term = 9.0 * self.traffic(timestamp) * self._road_proximity(location)
+        plume = self._co2_plume(timestamp)
+        return max(
+            380.0,
+            self.CO2_BACKGROUND_PPM + biosphere + stagnation + traffic_term + plume,
+        )
+
+    def no2_ugm3(self, timestamp: int, location: GeoPoint) -> float:
+        traffic_term = 55.0 * self.traffic(timestamp) * self._road_proximity(location)
+        background = 6.0
+        value = (background + traffic_term) * self._stagnation(timestamp) * 1.4
+        return max(0.5, value + self._no2_plume(timestamp))
+
+    def pm10_ugm3(self, timestamp: int, location: GeoPoint) -> float:
+        traffic_term = 28.0 * self.traffic(timestamp) * self._road_proximity(location)
+        # Studded winter tyres resuspend road dust below ~4 C (a known
+        # Trondheim effect).
+        cold_dust = 8.0 if self.weather.temperature_c(timestamp) < 4.0 else 0.0
+        value = (7.0 + traffic_term + cold_dust) * self._stagnation(timestamp) * 1.3
+        return max(1.0, value + self._pm_plume(timestamp))
+
+    def pm25_ugm3(self, timestamp: int, location: GeoPoint) -> float:
+        hod = hour_of_day(timestamp)
+        wood_burning = 0.0
+        if self.weather.temperature_c(timestamp) < 5.0 and 17.0 <= hod <= 23.0:
+            wood_burning = 9.0
+        base = 0.45 * self.pm10_ugm3(timestamp, location)
+        return max(0.5, base + wood_burning * self._stagnation(timestamp))
+
+
+@dataclass
+class PollutionInjection:
+    """A synthetic pollution event (demo §3: "inject synthetic data
+    showing different pollution levels" for e.g. construction sites)."""
+
+    center: GeoPoint
+    start: int
+    end: int
+    co2_ppm: float = 0.0
+    no2_ugm3: float = 0.0
+    pm10_ugm3: float = 0.0
+    pm25_ugm3: float = 0.0
+    radius_m: float = 300.0
+
+    def factor(self, timestamp: int, location: GeoPoint) -> float:
+        if not self.start <= timestamp <= self.end:
+            return 0.0
+        d = self.center.distance_to(location)
+        return math.exp(-((d / self.radius_m) ** 2))
+
+
+class UrbanEnvironment:
+    """Facade bundling weather, traffic, and emission fields for one city.
+
+    Also carries the injection list used by the interactive demo
+    scenarios; injected plumes add on top of the natural fields.
+    """
+
+    def __init__(
+        self,
+        city: str,
+        center: GeoPoint,
+        seed: int,
+        roads: list[RoadSegment] | None = None,
+        mean_temp_c: float = 5.0,
+    ) -> None:
+        self.city = city
+        self.center = center
+        self.seed = seed
+        self.weather = Weather(seed, center.lat, center.lon, mean_temp_c=mean_temp_c)
+        self.traffic = TrafficIntensity(seed)
+        self.field = EmissionField(seed, self.weather, self.traffic, roads)
+        self.injections: list[PollutionInjection] = []
+
+    def inject(self, injection: PollutionInjection) -> None:
+        self.injections.append(injection)
+
+    def clear_injections(self) -> None:
+        self.injections.clear()
+
+    def _injected(self, attr: str, timestamp: int, location: GeoPoint) -> float:
+        return sum(
+            getattr(inj, attr) * inj.factor(timestamp, location)
+            for inj in self.injections
+        )
+
+    def co2_ppm(self, timestamp: int, location: GeoPoint) -> float:
+        return self.field.co2_ppm(timestamp, location) + self._injected(
+            "co2_ppm", timestamp, location
+        )
+
+    def no2_ugm3(self, timestamp: int, location: GeoPoint) -> float:
+        return self.field.no2_ugm3(timestamp, location) + self._injected(
+            "no2_ugm3", timestamp, location
+        )
+
+    def pm10_ugm3(self, timestamp: int, location: GeoPoint) -> float:
+        return self.field.pm10_ugm3(timestamp, location) + self._injected(
+            "pm10_ugm3", timestamp, location
+        )
+
+    def pm25_ugm3(self, timestamp: int, location: GeoPoint) -> float:
+        return self.field.pm25_ugm3(timestamp, location) + self._injected(
+            "pm25_ugm3", timestamp, location
+        )
+
+    def true_values(self, timestamp: int, location: GeoPoint) -> dict[str, float]:
+        """All ground-truth quantities a sensor node samples."""
+        w = self.weather.state(timestamp)
+        return {
+            "co2_ppm": self.co2_ppm(timestamp, location),
+            "no2_ugm3": self.no2_ugm3(timestamp, location),
+            "pm10_ugm3": self.pm10_ugm3(timestamp, location),
+            "pm25_ugm3": self.pm25_ugm3(timestamp, location),
+            "temperature_c": w.temperature_c,
+            "pressure_hpa": w.pressure_hpa,
+            "humidity_pct": w.humidity_pct,
+        }

@@ -1,0 +1,147 @@
+"""Fault injection for sensor nodes.
+
+Paper §2.3 enumerates exactly these failure classes: "transient and
+permanent failures", "decaying sensors, erroneous behavior of sensor
+nodes, or missing data patterns".  Faults are injected per node with a
+seeded RNG so failure scenarios replay deterministically in tests and
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+
+class FaultKind(Enum):
+    """The failure taxonomy the dataport must distinguish."""
+
+    TRANSIENT_DROPOUT = "transient_dropout"  # misses a few cycles, recovers
+    PERMANENT_DEATH = "permanent_death"  # node never reports again
+    STUCK_VALUE = "stuck_value"  # channel repeats its last reading
+    DECAY = "decay"  # channel drifts increasingly out of spec
+    SPIKE = "spike"  # isolated absurd readings
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault on one node."""
+
+    kind: FaultKind
+    start: int
+    duration: int = 0  # 0 = open-ended (permanent)
+    channel: str | None = None  # None = whole node
+    magnitude: float = 1.0  # kind-specific scale
+
+    @property
+    def end(self) -> int | None:
+        return None if self.duration == 0 else self.start + self.duration
+
+    def active_at(self, timestamp: int) -> bool:
+        if timestamp < self.start:
+            return False
+        return self.end is None or timestamp < self.end
+
+
+class FaultPlan:
+    """The set of faults scheduled for one node, queried at sample time."""
+
+    def __init__(self, events: list[FaultEvent] | None = None) -> None:
+        self.events: list[FaultEvent] = sorted(
+            events or [], key=lambda e: e.start
+        )
+
+    def add(self, event: FaultEvent) -> None:
+        self.events.append(event)
+        self.events.sort(key=lambda e: e.start)
+
+    def active(self, timestamp: int) -> list[FaultEvent]:
+        return [e for e in self.events if e.active_at(timestamp)]
+
+    def is_dead(self, timestamp: int) -> bool:
+        return any(
+            e.kind is FaultKind.PERMANENT_DEATH and e.active_at(timestamp)
+            for e in self.events
+        )
+
+    def is_dropped_out(self, timestamp: int) -> bool:
+        return any(
+            e.kind is FaultKind.TRANSIENT_DROPOUT and e.active_at(timestamp)
+            for e in self.events
+        )
+
+    def channel_faults(self, timestamp: int, channel: str) -> list[FaultEvent]:
+        return [
+            e
+            for e in self.active(timestamp)
+            if e.kind in (FaultKind.STUCK_VALUE, FaultKind.DECAY, FaultKind.SPIKE)
+            and (e.channel is None or e.channel == channel)
+        ]
+
+
+def random_fault_plan(
+    rng: np.random.Generator,
+    horizon_start: int,
+    horizon_end: int,
+    *,
+    dropout_rate_per_day: float = 0.3,
+    death_probability: float = 0.02,
+    decay_probability: float = 0.1,
+    channels: tuple[str, ...] = ("co2_ppm", "no2_ugm3", "pm10_ugm3", "pm25_ugm3"),
+) -> FaultPlan:
+    """Sample a realistic fault plan for one node over a horizon.
+
+    Dropouts arrive as a Poisson process (LoRa interference, power
+    brown-outs); a small fraction of nodes die permanently; decay faults
+    model aging electrochemical cells.
+    """
+    if horizon_end < horizon_start:
+        raise ValueError("horizon_end precedes horizon_start")
+    plan = FaultPlan()
+    span_days = (horizon_end - horizon_start) / 86400.0
+
+    n_dropouts = rng.poisson(dropout_rate_per_day * span_days)
+    for _ in range(int(n_dropouts)):
+        start = int(rng.integers(horizon_start, max(horizon_start + 1, horizon_end)))
+        duration = int(rng.exponential(45 * 60))  # mean 45 min
+        plan.add(
+            FaultEvent(FaultKind.TRANSIENT_DROPOUT, start, max(300, duration))
+        )
+
+    if rng.random() < death_probability * span_days / 7.0:
+        start = int(rng.integers(horizon_start, max(horizon_start + 1, horizon_end)))
+        plan.add(FaultEvent(FaultKind.PERMANENT_DEATH, start))
+
+    if rng.random() < decay_probability:
+        channel = str(rng.choice(list(channels)))
+        start = int(rng.integers(horizon_start, max(horizon_start + 1, horizon_end)))
+        plan.add(
+            FaultEvent(
+                FaultKind.DECAY,
+                start,
+                channel=channel,
+                magnitude=float(rng.uniform(0.5, 3.0)),
+            )
+        )
+    return plan
+
+
+def apply_channel_faults(
+    reading: float,
+    events: list[FaultEvent],
+    timestamp: int,
+    last_reading: float | None,
+    rng: np.random.Generator,
+) -> float:
+    """Transform a reading through the active channel faults."""
+    for event in events:
+        if event.kind is FaultKind.STUCK_VALUE and last_reading is not None:
+            return last_reading
+        if event.kind is FaultKind.DECAY:
+            elapsed_days = max(0.0, (timestamp - event.start) / 86400.0)
+            reading += event.magnitude * elapsed_days**1.5
+        if event.kind is FaultKind.SPIKE and rng.random() < 0.08:
+            reading *= 1.0 + event.magnitude * float(rng.uniform(2.0, 8.0))
+    return reading

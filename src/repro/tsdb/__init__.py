@@ -1,0 +1,86 @@
+"""A from-scratch time-series database standing in for OpenTSDB.
+
+Data model: points are ``(metric, timestamp, value, tags)``; a series is
+one metric + tag combination.  Queries support tag filtering (exact,
+``*``, ``a|b``), cross-series aggregation, group-by, rate, and
+downsampling with gap-fill policies.  Persistence is an append-only line
+protocol with snapshot compaction; retention optionally rolls old raw
+data up into coarser series.
+"""
+
+from . import aggregators
+from .database import TSDB
+from .downsample import Downsample, FillPolicy, InvalidDownsampleSpec
+from .model import (
+    ALL_AIR_METRICS,
+    ALL_WEATHER_METRICS,
+    METRIC_BATTERY,
+    METRIC_CO2,
+    METRIC_HUMIDITY,
+    METRIC_JAM_FACTOR,
+    METRIC_NO2,
+    METRIC_PM10,
+    METRIC_PM25,
+    METRIC_PRESSURE,
+    METRIC_TEMPERATURE,
+    METRIC_TRAFFIC_COUNT,
+    DataPoint,
+    InvalidName,
+    SeriesKey,
+    validate_name,
+)
+from .persistence import (
+    LogCorruption,
+    LogWriter,
+    dumps,
+    format_point,
+    iter_log,
+    load,
+    parse_line,
+    snapshot,
+)
+from .query import Query, QueryError, QueryResult, ResultSeries, compute_rate
+from .retention import RetentionPolicy, RolledUp
+from .series import SeriesSlice, SeriesStore, merge_slices
+
+__all__ = [
+    "ALL_AIR_METRICS",
+    "ALL_WEATHER_METRICS",
+    "DataPoint",
+    "Downsample",
+    "FillPolicy",
+    "InvalidDownsampleSpec",
+    "InvalidName",
+    "LogCorruption",
+    "LogWriter",
+    "METRIC_BATTERY",
+    "METRIC_CO2",
+    "METRIC_HUMIDITY",
+    "METRIC_JAM_FACTOR",
+    "METRIC_NO2",
+    "METRIC_PM10",
+    "METRIC_PM25",
+    "METRIC_PRESSURE",
+    "METRIC_TEMPERATURE",
+    "METRIC_TRAFFIC_COUNT",
+    "Query",
+    "QueryError",
+    "QueryResult",
+    "ResultSeries",
+    "RetentionPolicy",
+    "RolledUp",
+    "SeriesKey",
+    "SeriesSlice",
+    "SeriesStore",
+    "TSDB",
+    "aggregators",
+    "compute_rate",
+    "dumps",
+    "format_point",
+    "iter_log",
+    "load",
+    "merge_slices",
+    "parse_line",
+    "snapshot",
+    "validate_name",
+]

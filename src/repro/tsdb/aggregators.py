@@ -1,0 +1,93 @@
+"""Aggregation functions over aligned series values.
+
+Aggregators serve two roles, mirroring OpenTSDB:
+
+- *cross-series* aggregation: combining the values of several series at
+  the same instant (e.g. the city-wide average CO2 across nodes);
+- *downsampling* aggregation: collapsing all raw points inside one time
+  bucket to a single value.
+
+All functions take a 1-D float array and return a float; NaNs are
+ignored (a bucket of all-NaN yields NaN).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+Aggregator = Callable[[np.ndarray], float]
+
+
+def _nan_safe(fn: Callable[[np.ndarray], np.floating], empty: float = np.nan):
+    def agg(values: np.ndarray) -> float:
+        if values.size == 0:
+            return empty
+        finite = values[~np.isnan(values)]
+        if finite.size == 0:
+            return np.nan
+        return float(fn(finite))
+
+    return agg
+
+
+avg = _nan_safe(np.mean)
+total = _nan_safe(np.sum, empty=0.0)
+minimum = _nan_safe(np.min)
+maximum = _nan_safe(np.max)
+median = _nan_safe(np.median)
+dev = _nan_safe(lambda v: np.std(v, ddof=0))
+first = _nan_safe(lambda v: v[0])
+last = _nan_safe(lambda v: v[-1])
+
+
+def count(values: np.ndarray) -> float:
+    """Number of non-NaN values (0.0 for an empty bucket)."""
+    if values.size == 0:
+        return 0.0
+    return float(np.count_nonzero(~np.isnan(values)))
+
+
+def percentile(q: float) -> Aggregator:
+    """Aggregator computing the ``q``-th percentile (0-100)."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100]: {q}")
+    return _nan_safe(lambda v: np.percentile(v, q))
+
+
+_REGISTRY: dict[str, Aggregator] = {
+    "avg": avg,
+    "mean": avg,
+    "sum": total,
+    "min": minimum,
+    "max": maximum,
+    "median": median,
+    "dev": dev,
+    "std": dev,
+    "count": count,
+    "first": first,
+    "last": last,
+    "p50": percentile(50.0),
+    "p90": percentile(90.0),
+    "p95": percentile(95.0),
+    "p99": percentile(99.0),
+}
+
+
+class UnknownAggregator(KeyError):
+    """Requested aggregator name is not registered."""
+
+
+def get(name: str) -> Aggregator:
+    """Look up an aggregator by name (e.g. ``"avg"``, ``"p95"``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownAggregator(
+            f"unknown aggregator {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def names() -> list[str]:
+    return sorted(_REGISTRY)

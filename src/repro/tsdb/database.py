@@ -1,0 +1,226 @@
+"""The time-series database engine.
+
+A from-scratch reproduction of the OpenTSDB role in the CTT stack: series
+are keyed by metric + tags, an inverted tag index accelerates filtered
+lookups, and queries combine scan → (optional) rate → group-by →
+cross-series aggregation → (optional) downsample.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from . import aggregators
+from .downsample import apply as apply_downsample
+from .model import DataPoint, SeriesKey, validate_name
+from .query import Query, QueryResult, ResultSeries, compute_rate
+from .series import SeriesSlice, SeriesStore
+
+
+class TSDB:
+    """In-memory time-series database with tag-indexed queries.
+
+    The public surface is deliberately OpenTSDB-shaped:
+
+    - :meth:`put` writes one point (out-of-order tolerated),
+    - :meth:`run` executes a :class:`Query`,
+    - :meth:`suggest_metrics` / :meth:`suggest_tag_values` back dashboard
+      autocomplete,
+    - :meth:`last` serves "current value" dashboard panels.
+    """
+
+    def __init__(self) -> None:
+        self._stores: dict[SeriesKey, SeriesStore] = {}
+        # metric -> set of series keys
+        self._by_metric: dict[str, set[SeriesKey]] = defaultdict(set)
+        # (tagk, tagv) -> set of series keys
+        self._by_tag: dict[tuple[str, str], set[SeriesKey]] = defaultdict(set)
+        self._puts = 0
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        metric: str,
+        timestamp: int,
+        value: float,
+        tags: Mapping[str, str] | None = None,
+    ) -> SeriesKey:
+        """Write one data point, creating the series on first sight."""
+        key = SeriesKey.make(metric, tags)
+        store = self._stores.get(key)
+        if store is None:
+            store = SeriesStore()
+            self._stores[key] = store
+            self._by_metric[key.metric].add(key)
+            for pair in key.tags:
+                self._by_tag[pair].add(key)
+        store.append(timestamp, value)
+        self._puts += 1
+        return key
+
+    def put_point(self, point: DataPoint) -> SeriesKey:
+        return self.put(point.key.metric, point.timestamp, point.value, point.key.tag_dict())
+
+    def put_many(self, points: Iterable[DataPoint]) -> int:
+        n = 0
+        for p in points:
+            self.put_point(p)
+            n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def series_count(self) -> int:
+        return len(self._stores)
+
+    @property
+    def point_count(self) -> int:
+        return sum(s.approximate_size for s in self._stores.values())
+
+    @property
+    def write_count(self) -> int:
+        """Total puts accepted (includes overwritten duplicates)."""
+        return self._puts
+
+    def metrics(self) -> list[str]:
+        return sorted(m for m, keys in self._by_metric.items() if keys)
+
+    def series_for_metric(self, metric: str) -> list[SeriesKey]:
+        return sorted(self._by_metric.get(metric, ()), key=str)
+
+    def suggest_metrics(self, prefix: str = "") -> list[str]:
+        return [m for m in self.metrics() if m.startswith(prefix)]
+
+    def suggest_tag_values(self, metric: str, tag_key: str) -> list[str]:
+        validate_name(tag_key, "tag key")
+        values = {
+            key.tag(tag_key)
+            for key in self._by_metric.get(metric, ())
+            if key.tag(tag_key) is not None
+        }
+        return sorted(v for v in values if v is not None)
+
+    def last(
+        self, metric: str, tags: Mapping[str, str] | None = None
+    ) -> dict[SeriesKey, tuple[int, float]]:
+        """Latest point per matching series (dashboards' live tiles)."""
+        out: dict[SeriesKey, tuple[int, float]] = {}
+        for key in self._match(metric, tags or {}):
+            latest = self._stores[key].latest()
+            if latest is not None:
+                out[key] = latest
+        return out
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def run(self, query: Query) -> QueryResult:
+        """Execute a query; see :class:`~repro.tsdb.query.Query`."""
+        matched = self._match(query.metric, query.tags)
+        ds = query.parsed_downsample()
+        agg = aggregators.get(query.aggregator)
+
+        groups: dict[tuple[tuple[str, str], ...], list[SeriesKey]] = defaultdict(list)
+        for key in matched:
+            label = tuple(
+                (g, key.tag(g, "")) for g in sorted(query.group_by)
+            )
+            groups[label].append(key)
+
+        scanned = 0
+        series_out: list[ResultSeries] = []
+        for label, keys in sorted(groups.items()):
+            slices: list[SeriesSlice] = []
+            for key in sorted(keys, key=str):
+                sl = self._stores[key].scan(query.start, query.end)
+                scanned += len(sl)
+                if query.rate:
+                    sl = compute_rate(sl)
+                slices.append(sl)
+            combined = _aggregate_across(slices, agg)
+            if ds is not None:
+                combined = apply_downsample(combined, ds, query.start, query.end)
+            series_out.append(
+                ResultSeries(
+                    metric=query.metric,
+                    group_tags=dict(label),
+                    slice=combined,
+                    source_series=tuple(sorted(keys, key=str)),
+                )
+            )
+        if not series_out:
+            empty = SeriesSlice(np.empty(0, np.int64), np.empty(0, np.float64))
+            series_out.append(ResultSeries(query.metric, {}, empty, ()))
+        return QueryResult(query=query, series=tuple(series_out), scanned_points=scanned)
+
+    def _match(self, metric: str, tags: Mapping[str, str]) -> list[SeriesKey]:
+        candidates = self._by_metric.get(metric)
+        if not candidates:
+            return []
+        # Narrow with the tag index for exact-value filters, then apply
+        # the full (wildcard/alternation-aware) match.
+        narrowed: set[SeriesKey] | None = None
+        for k, v in tags.items():
+            if v == "*" or "|" in v:
+                continue
+            bucket = self._by_tag.get((k, v), set())
+            narrowed = bucket.copy() if narrowed is None else narrowed & bucket
+        pool = candidates if narrowed is None else (candidates & narrowed)
+        return [key for key in pool if key.matches(tags)]
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def delete_before(self, cutoff: int, *, exclude_suffix: str | None = None) -> int:
+        """Apply retention: drop all points older than ``cutoff``.
+
+        Series whose metric ends with ``exclude_suffix`` are spared —
+        retention rollups live in the same database and must outlive the
+        raw data they summarize.
+        """
+        dropped = 0
+        dead: list[SeriesKey] = []
+        for key, store in self._stores.items():
+            if exclude_suffix is not None and key.metric.endswith(exclude_suffix):
+                continue
+            dropped += store.delete_before(cutoff)
+            if len(store) == 0:
+                dead.append(key)
+        for key in dead:
+            del self._stores[key]
+            self._by_metric[key.metric].discard(key)
+            for pair in key.tags:
+                self._by_tag[pair].discard(key)
+        return dropped
+
+
+def _aggregate_across(slices: list[SeriesSlice], agg) -> SeriesSlice:
+    """Combine several series into one by aggregating per timestamp.
+
+    Timestamps are the union of all input timestamps; at each instant the
+    aggregator sees the values of every series that has a point exactly
+    there.  (OpenTSDB interpolates; our feeds are bucket-aligned by the
+    ingest pipeline, so exact alignment is the common case and
+    interpolation is left to downsample fill policies.)
+    """
+    slices = [s for s in slices if len(s) > 0]
+    if not slices:
+        return SeriesSlice(np.empty(0, np.int64), np.empty(0, np.float64))
+    if len(slices) == 1:
+        return slices[0]
+    all_ts = np.unique(np.concatenate([s.timestamps for s in slices]))
+    stacked = np.full((len(slices), all_ts.shape[0]), np.nan)
+    for i, s in enumerate(slices):
+        idx = np.searchsorted(all_ts, s.timestamps)
+        stacked[i, idx] = s.values
+    out = np.empty(all_ts.shape[0], dtype=np.float64)
+    for j in range(all_ts.shape[0]):
+        out[j] = agg(stacked[:, j])
+    return SeriesSlice(all_ts, out)

@@ -1,0 +1,189 @@
+"""Downsampling: collapsing raw points into fixed-width time buckets.
+
+A downsample spec is written OpenTSDB-style as ``"<width>-<agg>[-<fill>]"``,
+e.g. ``"5m-avg"``, ``"1h-max-nan"``, ``"15m-avg-linear"``.  Buckets are
+aligned to multiples of the width from the epoch; the bucket timestamp is
+its *start*.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from . import aggregators
+from .series import SeriesSlice
+
+_SPEC_RE = re.compile(r"^(\d+)(s|m|h|d)-([a-z0-9]+)(?:-([a-z]+))?$")
+_UNIT_SECONDS = {"s": 1, "m": 60, "h": 3600, "d": 86400}
+
+#: Gap-filling materializes every bucket in the range; cap it so a typo'd
+#: query fails fast instead of exhausting memory (10M buckets ≈ 160 MB).
+MAX_FILLED_BUCKETS = 10_000_000
+
+
+class FillPolicy(Enum):
+    """What to emit for buckets containing no raw points."""
+
+    NONE = "none"  # omit the bucket entirely
+    NAN = "nan"  # emit NaN
+    ZERO = "zero"  # emit 0.0
+    PREVIOUS = "previous"  # carry the last seen bucket value forward
+    LINEAR = "linear"  # linearly interpolate between neighbours
+
+
+class InvalidDownsampleSpec(ValueError):
+    """Downsample spec string does not parse."""
+
+
+@dataclass(frozen=True, slots=True)
+class Downsample:
+    """Parsed downsample: bucket width (s), aggregator name, fill policy."""
+
+    width: int
+    agg: str
+    fill: FillPolicy = FillPolicy.NONE
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise InvalidDownsampleSpec(f"width must be positive: {self.width}")
+        try:
+            aggregators.get(self.agg)  # validate eagerly
+        except aggregators.UnknownAggregator as exc:
+            raise InvalidDownsampleSpec(str(exc)) from None
+
+    @classmethod
+    def parse(cls, spec: str) -> "Downsample":
+        """Parse ``"5m-avg"`` / ``"1h-max-nan"`` style specs."""
+        m = _SPEC_RE.match(spec.strip().lower())
+        if not m:
+            raise InvalidDownsampleSpec(
+                f"bad downsample spec {spec!r}; expected e.g. '5m-avg' or '1h-max-nan'"
+            )
+        number, unit, agg, fill = m.groups()
+        width = int(number) * _UNIT_SECONDS[unit]
+        policy = FillPolicy(fill) if fill else FillPolicy.NONE
+        return cls(width=width, agg=agg, fill=policy)
+
+    def spec(self) -> str:
+        base = f"{self.width}s-{self.agg}"
+        if self.fill is not FillPolicy.NONE:
+            base += f"-{self.fill.value}"
+        return base
+
+
+def apply(
+    slice_: SeriesSlice,
+    ds: Downsample,
+    start: int | None = None,
+    end: int | None = None,
+) -> SeriesSlice:
+    """Downsample a sorted slice.
+
+    ``start``/``end`` bound the emitted bucket range; when given with a
+    gap-filling policy, empty leading/trailing buckets are emitted too,
+    which dashboards rely on for fixed-width windows.
+    """
+    agg = aggregators.get(ds.agg)
+    w = ds.width
+
+    if len(slice_) == 0 and (start is None or end is None):
+        return SeriesSlice(np.empty(0, np.int64), np.empty(0, np.float64))
+
+    if ds.fill is FillPolicy.NONE:
+        # No gap filling: only occupied buckets are emitted, so work is
+        # proportional to the number of points, not the time span.
+        return _sparse_buckets(slice_, w, agg, start, end)
+
+    lo = slice_.timestamps[0] if start is None else start
+    hi = slice_.timestamps[-1] if end is None else end
+    first_bucket = int(lo // w) * w
+    last_bucket = int(hi // w) * w
+    n_buckets = (last_bucket - first_bucket) // w + 1
+    if n_buckets <= 0:
+        return SeriesSlice(np.empty(0, np.int64), np.empty(0, np.float64))
+    if n_buckets > MAX_FILLED_BUCKETS:
+        raise InvalidDownsampleSpec(
+            f"gap-filled downsample would materialize {n_buckets} buckets "
+            f"(limit {MAX_FILLED_BUCKETS}); narrow the range or widen the "
+            "bucket"
+        )
+
+    bucket_ts = first_bucket + w * np.arange(n_buckets, dtype=np.int64)
+    bucket_vals = np.full(n_buckets, np.nan, dtype=np.float64)
+
+    if len(slice_) > 0:
+        idx = (slice_.timestamps - first_bucket) // w
+        in_range = (idx >= 0) & (idx < n_buckets)
+        idx = idx[in_range]
+        vals = slice_.values[in_range]
+        # Group contiguous runs of equal bucket index (timestamps sorted).
+        if idx.size > 0:
+            boundaries = np.nonzero(np.diff(idx))[0] + 1
+            starts = np.concatenate([[0], boundaries])
+            ends = np.concatenate([boundaries, [idx.size]])
+            for s, e in zip(starts, ends):
+                bucket_vals[int(idx[s])] = agg(vals[s:e])
+
+    empty = np.isnan(bucket_vals)
+    if ds.fill is FillPolicy.ZERO:
+        bucket_vals[empty] = 0.0
+    elif ds.fill is FillPolicy.PREVIOUS:
+        bucket_vals = _fill_previous(bucket_vals)
+    elif ds.fill is FillPolicy.LINEAR:
+        bucket_vals = _fill_linear(bucket_ts, bucket_vals)
+    # FillPolicy.NAN leaves NaNs in place.
+    return SeriesSlice(bucket_ts, bucket_vals)
+
+
+def _sparse_buckets(
+    slice_: SeriesSlice,
+    w: int,
+    agg,
+    start: int | None,
+    end: int | None,
+) -> SeriesSlice:
+    """Downsample emitting only buckets that contain points."""
+    ts = slice_.timestamps
+    vals = slice_.values
+    if start is not None or end is not None:
+        lo = ts[0] if start is None else start
+        hi = ts[-1] if end is None else end
+        mask = (ts >= int(lo // w) * w) & (ts <= hi)
+        ts, vals = ts[mask], vals[mask]
+    if ts.shape[0] == 0:
+        return SeriesSlice(np.empty(0, np.int64), np.empty(0, np.float64))
+    bucket_of = (ts // w) * w
+    boundaries = np.nonzero(np.diff(bucket_of))[0] + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [ts.shape[0]]])
+    out_ts = bucket_of[starts]
+    out_vals = np.array([agg(vals[s:e]) for s, e in zip(starts, ends)])
+    keep = ~np.isnan(out_vals)
+    return SeriesSlice(out_ts[keep].astype(np.int64), out_vals[keep])
+
+
+def _fill_previous(vals: np.ndarray) -> np.ndarray:
+    out = vals.copy()
+    last = np.nan
+    for i in range(out.shape[0]):
+        if np.isnan(out[i]):
+            out[i] = last
+        else:
+            last = out[i]
+    return out
+
+
+def _fill_linear(ts: np.ndarray, vals: np.ndarray) -> np.ndarray:
+    out = vals.copy()
+    known = ~np.isnan(vals)
+    if known.sum() >= 2:
+        out[~known] = np.interp(ts[~known], ts[known], vals[known])
+        # np.interp extrapolates flat beyond the ends; mask those back to NaN
+        lo, hi = ts[known][0], ts[known][-1]
+        outside = (~known) & ((ts < lo) | (ts > hi))
+        out[outside] = np.nan
+    return out

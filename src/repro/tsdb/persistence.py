@@ -1,0 +1,187 @@
+"""Durability: append-only line-protocol log and snapshot/restore.
+
+The cloud storage tier of the paper persists every measurement.  We
+reproduce it with a human-readable, append-only *line protocol*::
+
+    <metric> <timestamp> <value> [tagk=tagv ...]
+
+plus ``#``-prefixed comments.  A write-ahead writer appends lines as
+points arrive; ``load`` replays a log into a fresh :class:`TSDB`.  This is
+deliberately simple (the dataset is city-scale, not hyperscale) but
+covers the real failure mode the dataport cares about: process restarts
+must not lose the historic archive.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from .database import TSDB
+from .model import DataPoint
+
+
+class LogCorruption(ValueError):
+    """A log line failed to parse."""
+
+    def __init__(self, lineno: int, line: str, reason: str) -> None:
+        super().__init__(f"line {lineno}: {reason}: {line!r}")
+        self.lineno = lineno
+        self.line = line
+        self.reason = reason
+
+
+def format_point(point: DataPoint) -> str:
+    """Render one point as a log line."""
+    tags = " ".join(f"{k}={v}" for k, v in point.key.tags)
+    base = f"{point.key.metric} {point.timestamp} {point.value!r}"
+    return f"{base} {tags}" if tags else base
+
+
+def parse_line(line: str, lineno: int = 0) -> DataPoint | None:
+    """Parse one log line; returns None for blanks and comments."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    parts = stripped.split()
+    if len(parts) < 3:
+        raise LogCorruption(lineno, line, "expected 'metric ts value [tags...]'")
+    metric, ts_s, val_s, *tag_parts = parts
+    try:
+        ts = int(ts_s)
+    except ValueError:
+        raise LogCorruption(lineno, line, f"bad timestamp {ts_s!r}") from None
+    try:
+        value = float(val_s)
+    except ValueError:
+        raise LogCorruption(lineno, line, f"bad value {val_s!r}") from None
+    tags: dict[str, str] = {}
+    for part in tag_parts:
+        if "=" not in part:
+            raise LogCorruption(lineno, line, f"bad tag {part!r}")
+        k, _, v = part.partition("=")
+        tags[k] = v
+    try:
+        return DataPoint.make(metric, ts, value, tags)
+    except ValueError as exc:
+        raise LogCorruption(lineno, line, str(exc)) from None
+
+
+class LogWriter:
+    """Append-only writer; flushes per batch, not per point."""
+
+    def __init__(self, path: str | os.PathLike[str] | TextIO) -> None:
+        if isinstance(path, (str, os.PathLike)):
+            self._path = Path(path)
+            self._fh: TextIO = open(self._path, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._path = None
+            self._fh = path
+            self._owns = False
+        self._written = 0
+
+    @property
+    def written(self) -> int:
+        return self._written
+
+    def write(self, point: DataPoint) -> None:
+        self._fh.write(format_point(point) + "\n")
+        self._written += 1
+
+    def write_many(self, points: Iterable[DataPoint]) -> int:
+        n = 0
+        for p in points:
+            self.write(p)
+            n += 1
+        self.flush()
+        return n
+
+    def comment(self, text: str) -> None:
+        for line in text.splitlines() or [""]:
+            self._fh.write(f"# {line}\n")
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "LogWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def iter_log(
+    source: str | os.PathLike[str] | TextIO, *, strict: bool = True
+) -> Iterator[DataPoint]:
+    """Yield points from a log file or open text handle.
+
+    With ``strict=False`` corrupt lines are skipped instead of raising —
+    the recovery path after an unclean shutdown that truncated the tail.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        fh: TextIO = open(source, "r", encoding="utf-8")
+        owns = True
+    else:
+        fh = source
+        owns = False
+    try:
+        for lineno, line in enumerate(fh, start=1):
+            try:
+                point = parse_line(line, lineno)
+            except LogCorruption:
+                if strict:
+                    raise
+                continue
+            if point is not None:
+                yield point
+    finally:
+        if owns:
+            fh.close()
+
+
+def load(source: str | os.PathLike[str] | TextIO, *, strict: bool = True) -> TSDB:
+    """Replay a log into a fresh database."""
+    db = TSDB()
+    db.put_many(iter_log(source, strict=strict))
+    return db
+
+
+def snapshot(db: TSDB, path: str | os.PathLike[str]) -> int:
+    """Write the whole database as a sorted, deduplicated log.
+
+    Returns the number of points written.  Snapshots are normal logs, so
+    ``load`` restores them; they are smaller than the raw WAL because
+    overwritten duplicates are gone.
+    """
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        writer = LogWriter(fh)
+        writer.comment("repro.tsdb snapshot")
+        for metric in db.metrics():
+            for key in db.series_for_metric(metric):
+                sl = db._stores[key].scan()
+                for ts, val in zip(sl.timestamps.tolist(), sl.values.tolist()):
+                    writer.write(DataPoint(key, int(ts), float(val)))
+                    n += 1
+        writer.flush()
+    return n
+
+
+def dumps(db: TSDB) -> str:
+    """Snapshot to a string (round-trips through ``load``)."""
+    buf = io.StringIO()
+    writer = LogWriter(buf)
+    for metric in db.metrics():
+        for key in db.series_for_metric(metric):
+            sl = db._stores[key].scan()
+            for ts, val in zip(sl.timestamps.tolist(), sl.values.tolist()):
+                writer.write(DataPoint(key, int(ts), float(val)))
+    return buf.getvalue()

@@ -1,0 +1,141 @@
+"""Query specification and results.
+
+A :class:`Query` mirrors the OpenTSDB HTTP query shape the paper's
+Zeppelin dashboards issue: time range + metric + tag filters + cross-series
+aggregator + optional downsample + optional rate, with optional group-by
+tag keys producing one output series per distinct tag value combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .downsample import Downsample
+from .model import SeriesKey
+from .series import SeriesSlice
+
+
+class QueryError(ValueError):
+    """Malformed query specification."""
+
+
+@dataclass(frozen=True)
+class Query:
+    """Declarative query against the TSDB.
+
+    Parameters
+    ----------
+    metric:
+        Metric name to read.
+    start, end:
+        Inclusive epoch-second range.
+    tags:
+        Tag filters; values support ``"*"`` and ``"a|b"`` alternation.
+    aggregator:
+        How to combine multiple matched series at each instant.
+    downsample:
+        Optional spec string like ``"5m-avg"`` or a parsed
+        :class:`Downsample`.
+    rate:
+        Emit the per-second first derivative instead of raw values
+        (used for counter metrics such as cumulative traffic counts).
+    group_by:
+        Tag keys whose distinct value combinations each produce their
+        own output series instead of being merged together.
+    """
+
+    metric: str
+    start: int
+    end: int
+    tags: Mapping[str, str] = field(default_factory=dict)
+    aggregator: str = "avg"
+    downsample: str | Downsample | None = None
+    rate: bool = False
+    group_by: Sequence[str] = ()
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise QueryError(f"end ({self.end}) precedes start ({self.start})")
+
+    def parsed_downsample(self) -> Downsample | None:
+        if self.downsample is None:
+            return None
+        if isinstance(self.downsample, Downsample):
+            return self.downsample
+        return Downsample.parse(self.downsample)
+
+
+@dataclass(frozen=True)
+class ResultSeries:
+    """One output series of a query."""
+
+    metric: str
+    group_tags: Mapping[str, str]
+    slice: SeriesSlice
+    source_series: tuple[SeriesKey, ...] = ()
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        return self.slice.timestamps
+
+    @property
+    def values(self) -> np.ndarray:
+        return self.slice.values
+
+    def __len__(self) -> int:
+        return len(self.slice)
+
+    def label(self) -> str:
+        if not self.group_tags:
+            return self.metric
+        inner = ",".join(f"{k}={v}" for k, v in sorted(self.group_tags.items()))
+        return f"{self.metric}{{{inner}}}"
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """All series produced by one query, plus bookkeeping."""
+
+    query: Query
+    series: tuple[ResultSeries, ...]
+    scanned_points: int
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+    def __iter__(self):
+        return iter(self.series)
+
+    def single(self) -> ResultSeries:
+        """The only series of an ungrouped query; raises if ambiguous."""
+        if len(self.series) != 1:
+            raise QueryError(
+                f"expected exactly one result series, got {len(self.series)}"
+            )
+        return self.series[0]
+
+    def is_empty(self) -> bool:
+        return all(len(s) == 0 for s in self.series)
+
+
+def compute_rate(slice_: SeriesSlice, counter_reset_as_zero: bool = True) -> SeriesSlice:
+    """Per-second first derivative of a sorted slice.
+
+    Emits one point per consecutive pair, timestamped at the later point.
+    Negative deltas (counter resets) become 0 when
+    ``counter_reset_as_zero`` is set, mirroring OpenTSDB's counter
+    handling; otherwise they pass through.
+    """
+    if len(slice_) < 2:
+        return SeriesSlice(np.empty(0, np.int64), np.empty(0, np.float64))
+    dt = np.diff(slice_.timestamps).astype(np.float64)
+    dv = np.diff(slice_.values)
+    valid = dt > 0
+    rate = np.full(dv.shape, np.nan)
+    rate[valid] = dv[valid] / dt[valid]
+    if counter_reset_as_zero:
+        rate = np.where(rate < 0, 0.0, rate)
+    return SeriesSlice(slice_.timestamps[1:][valid], rate[valid])

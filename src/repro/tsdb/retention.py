@@ -1,0 +1,77 @@
+"""Retention and rollup policies.
+
+City archives grow without bound (the paper's archive runs from January
+2017).  A :class:`RetentionPolicy` bounds raw-data age, optionally rolling
+old raw points up into a coarser metric before deletion so long-horizon
+dashboards stay cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .database import TSDB
+from .downsample import Downsample, apply as apply_downsample
+from .model import SeriesKey
+
+
+@dataclass(frozen=True)
+class RolledUp:
+    """Outcome of one enforcement pass."""
+
+    dropped_points: int
+    rolled_points: int
+    cutoff: int
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Keep raw points for ``raw_max_age`` seconds.
+
+    When ``rollup`` is set (e.g. ``Downsample.parse("1h-avg")``), points
+    older than the cutoff are first aggregated into
+    ``<metric><rollup_suffix>`` series carrying the same tags, then the
+    raw points are deleted.
+    """
+
+    raw_max_age: int
+    rollup: Downsample | None = None
+    rollup_suffix: str = ".rollup"
+
+    def __post_init__(self) -> None:
+        if self.raw_max_age <= 0:
+            raise ValueError("raw_max_age must be positive")
+
+    def enforce(self, db: TSDB, now: int) -> RolledUp:
+        """Apply the policy; returns what was rolled and dropped."""
+        cutoff = now - self.raw_max_age
+        rolled = 0
+        exclude = None
+        if self.rollup is not None:
+            rolled = self._roll_old_points(db, cutoff)
+            exclude = self.rollup_suffix
+        dropped = db.delete_before(cutoff, exclude_suffix=exclude)
+        return RolledUp(dropped_points=dropped, rolled_points=rolled, cutoff=cutoff)
+
+    def _roll_old_points(self, db: TSDB, cutoff: int) -> int:
+        assert self.rollup is not None
+        rolled = 0
+        # Materialize the key list first: we add rollup series while iterating.
+        for metric in list(db.metrics()):
+            if metric.endswith(self.rollup_suffix):
+                continue  # never roll a rollup
+            for key in list(db.series_for_metric(metric)):
+                store = db._stores.get(key)
+                if store is None:
+                    continue
+                old = store.scan(end=cutoff - 1)
+                if len(old) == 0:
+                    continue
+                buckets = apply_downsample(old, self.rollup)
+                target = SeriesKey.make(metric + self.rollup_suffix, key.tag_dict())
+                for ts, val in zip(
+                    buckets.timestamps.tolist(), buckets.values.tolist()
+                ):
+                    db.put(target.metric, int(ts), float(val), target.tag_dict())
+                    rolled += 1
+        return rolled

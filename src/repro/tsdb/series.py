@@ -1,0 +1,162 @@
+"""In-memory storage of a single time series.
+
+Points arrive mostly in time order (live sensor feeds) but the store must
+also absorb out-of-order and duplicate timestamps (LoRaWAN retransmits,
+backfilled historic imports).  We keep two numpy-backed growable arrays
+plus a small unsorted tail; scans merge-sort the tail in on demand and
+deduplicate by keeping the *latest written* value per timestamp, matching
+OpenTSDB's overwrite semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class SeriesSlice:
+    """A contiguous, time-sorted view of one series."""
+
+    timestamps: np.ndarray  # int64, strictly increasing
+    values: np.ndarray  # float64, parallel to timestamps
+
+    def __len__(self) -> int:
+        return int(self.timestamps.shape[0])
+
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+
+class SeriesStore:
+    """Append-optimized storage for one series."""
+
+    __slots__ = ("_ts", "_vals", "_n", "_tail_ts", "_tail_vals", "_dirty")
+
+    _INITIAL = 256
+
+    def __init__(self) -> None:
+        self._ts = np.empty(self._INITIAL, dtype=np.int64)
+        self._vals = np.empty(self._INITIAL, dtype=np.float64)
+        self._n = 0
+        self._tail_ts: list[int] = []
+        self._tail_vals: list[float] = []
+        self._dirty = False
+
+    def __len__(self) -> int:
+        self._compact()
+        return self._n
+
+    @property
+    def approximate_size(self) -> int:
+        """Point count without forcing a compaction."""
+        return self._n + len(self._tail_ts)
+
+    def append(self, timestamp: int, value: float) -> None:
+        """Add a point; out-of-order and duplicate timestamps are allowed."""
+        timestamp = int(timestamp)
+        if self._n > 0 and not self._tail_ts and timestamp > int(self._ts[self._n - 1]):
+            self._append_sorted(timestamp, float(value))
+            return
+        if self._n == 0 and not self._tail_ts:
+            self._append_sorted(timestamp, float(value))
+            return
+        self._tail_ts.append(timestamp)
+        self._tail_vals.append(float(value))
+        self._dirty = True
+        if len(self._tail_ts) >= 1024:
+            self._compact()
+
+    def _append_sorted(self, timestamp: int, value: float) -> None:
+        if self._n == self._ts.shape[0]:
+            self._grow()
+        self._ts[self._n] = timestamp
+        self._vals[self._n] = value
+        self._n += 1
+
+    def _grow(self) -> None:
+        cap = max(self._INITIAL, self._ts.shape[0] * 2)
+        self._ts = np.resize(self._ts, cap)
+        self._vals = np.resize(self._vals, cap)
+
+    def _compact(self) -> None:
+        """Merge the unsorted tail into the sorted arrays, deduplicating.
+
+        On duplicate timestamps the most recently written value wins
+        (OpenTSDB overwrite semantics); within the tail, later appends win.
+        """
+        if not self._dirty:
+            return
+        merged_ts = np.concatenate(
+            [self._ts[: self._n], np.asarray(self._tail_ts, dtype=np.int64)]
+        )
+        merged_vals = np.concatenate(
+            [self._vals[: self._n], np.asarray(self._tail_vals, dtype=np.float64)]
+        )
+        # Stable sort keeps insertion order for equal timestamps, so taking
+        # the *last* element of each equal-run implements overwrite.
+        order = np.argsort(merged_ts, kind="stable")
+        merged_ts = merged_ts[order]
+        merged_vals = merged_vals[order]
+        keep = np.ones(merged_ts.shape[0], dtype=bool)
+        keep[:-1] = merged_ts[1:] != merged_ts[:-1]
+        merged_ts = merged_ts[keep]
+        merged_vals = merged_vals[keep]
+        self._ts = merged_ts
+        self._vals = merged_vals
+        self._n = int(merged_ts.shape[0])
+        self._tail_ts.clear()
+        self._tail_vals.clear()
+        self._dirty = False
+
+    def scan(self, start: int | None = None, end: int | None = None) -> SeriesSlice:
+        """Sorted slice of points with ``start <= t <= end`` (inclusive)."""
+        self._compact()
+        ts = self._ts[: self._n]
+        lo = 0 if start is None else int(np.searchsorted(ts, start, side="left"))
+        hi = self._n if end is None else int(np.searchsorted(ts, end, side="right"))
+        return SeriesSlice(ts[lo:hi].copy(), self._vals[lo:hi].copy())
+
+    def latest(self) -> tuple[int, float] | None:
+        """Most recent ``(timestamp, value)`` or None when empty."""
+        self._compact()
+        if self._n == 0:
+            return None
+        return int(self._ts[self._n - 1]), float(self._vals[self._n - 1])
+
+    def first_timestamp(self) -> int | None:
+        self._compact()
+        return int(self._ts[0]) if self._n else None
+
+    def delete_before(self, cutoff: int) -> int:
+        """Drop points strictly older than ``cutoff``; returns count dropped."""
+        self._compact()
+        ts = self._ts[: self._n]
+        lo = int(np.searchsorted(ts, cutoff, side="left"))
+        if lo == 0:
+            return 0
+        self._ts = self._ts[lo : self._n].copy()
+        self._vals = self._vals[lo : self._n].copy()
+        self._n -= lo
+        return lo
+
+
+def merge_slices(slices: list[SeriesSlice]) -> SeriesSlice:
+    """Union several sorted slices into one sorted slice.
+
+    Duplicate timestamps across slices keep the value from the later slice
+    in the argument list.  Used when grouping series for aggregation.
+    """
+    if not slices:
+        return SeriesSlice(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+    if len(slices) == 1:
+        return slices[0]
+    ts = np.concatenate([s.timestamps for s in slices])
+    vals = np.concatenate([s.values for s in slices])
+    order = np.argsort(ts, kind="stable")
+    ts = ts[order]
+    vals = vals[order]
+    keep = np.ones(ts.shape[0], dtype=bool)
+    keep[:-1] = ts[1:] != ts[:-1]
+    return SeriesSlice(ts[keep], vals[keep])

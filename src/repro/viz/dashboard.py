@@ -1,0 +1,193 @@
+"""Dashboards (paper Fig. 6): the Zeppelin-over-OpenTSDB role.
+
+"The dashboard is implemented using Apache Zeppelin as the visualization
+platform and accesses the data from the OpenTSDB time series database.
+The mapped sensors show the real-time data and analytic results for each
+location."
+
+A :class:`Dashboard` is a grid of panels, each bound to a TSDB query (or
+a live-value/analytic callable).  Rendering pulls fresh data, so calling
+``render_text``/``render_html`` repeatedly gives the "real-time" view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..analytics.aqi import caqi
+from ..tsdb import Query, TSDB
+from .render import horizontal_bar, value_color
+from .timeseries import Chart
+
+
+@dataclass
+class TimeseriesPanel:
+    """A line chart bound to one TSDB query."""
+
+    title: str
+    query: Query
+
+    def render_text(self, db: TSDB, width: int = 72) -> str:
+        chart = Chart(self.title, width=width)
+        result = db.run(self.query)
+        for series in result:
+            chart.add_result(series)
+        return chart.render_text()
+
+    def render_html(self, db: TSDB) -> str:
+        chart = Chart(self.title)
+        for series in db.run(self.query):
+            chart.add_result(series)
+        return chart.render_svg()
+
+
+@dataclass
+class GaugePanel:
+    """Latest value per series of one metric (the map tiles of Fig. 6)."""
+
+    title: str
+    metric: str
+    tags: dict = field(default_factory=dict)
+    vmax: float | None = None
+    unit: str = ""
+
+    def _rows(self, db: TSDB) -> list[tuple[str, float]]:
+        latest = db.last(self.metric, self.tags)
+        rows = []
+        for key, (ts, value) in sorted(latest.items(), key=lambda kv: str(kv[0])):
+            label = key.tag("node") or key.tag("source") or str(key)
+            rows.append((label, value))
+        return rows
+
+    def render_text(self, db: TSDB, width: int = 72) -> str:
+        rows = self._rows(db)
+        vmax = self.vmax or (max((v for _, v in rows), default=1.0) or 1.0)
+        lines = [f"== {self.title} =="]
+        if not rows:
+            lines.append("  (no data)")
+        for label, value in rows:
+            bar = horizontal_bar(value, vmax, width=24)
+            lines.append(f"  {label:<12} {bar} {value:8.1f} {self.unit}")
+        return "\n".join(lines)
+
+    def render_html(self, db: TSDB) -> str:
+        rows = self._rows(db)
+        vmax = self.vmax or (max((v for _, v in rows), default=1.0) or 1.0)
+        cells = "".join(
+            f'<div class="gauge"><span class="label">{label}</span>'
+            f'<span class="value" style="color:{value_color(value, 0, vmax)}">'
+            f"{value:.1f} {self.unit}</span></div>"
+            for label, value in rows
+        )
+        return f'<div class="panel"><h3>{self.title}</h3>{cells or "(no data)"}</div>'
+
+
+@dataclass
+class AqiPanel:
+    """Per-node CAQI tiles computed from the latest pollutant values."""
+
+    title: str
+    city: str | None = None
+
+    _METRICS = {
+        "no2_ugm3": "air.no2.ugm3",
+        "pm10_ugm3": "air.pm10.ugm3",
+        "pm25_ugm3": "air.pm25.ugm3",
+    }
+
+    def compute(self, db: TSDB) -> dict[str, dict]:
+        tags = {"city": self.city} if self.city else {}
+        per_node: dict[str, dict[str, float]] = {}
+        for quantity, metric in self._METRICS.items():
+            for key, (_ts, value) in db.last(metric, tags).items():
+                node = key.tag("node") or str(key)
+                per_node.setdefault(node, {})[quantity] = value
+        out = {}
+        for node, concentrations in sorted(per_node.items()):
+            try:
+                result = caqi(concentrations)
+            except ValueError:
+                continue
+            out[node] = {
+                "index": result.index,
+                "band": result.band,
+                "dominant": result.dominant,
+            }
+        return out
+
+    def render_text(self, db: TSDB, width: int = 72) -> str:
+        lines = [f"== {self.title} =="]
+        tiles = self.compute(db)
+        if not tiles:
+            lines.append("  (no data)")
+        for node, info in tiles.items():
+            lines.append(
+                f"  {node:<12} CAQI {info['index']:6.1f}  "
+                f"{info['band']:<10} (dominant: {info['dominant']})"
+            )
+        return "\n".join(lines)
+
+    def render_html(self, db: TSDB) -> str:
+        tiles = self.compute(db)
+        cells = "".join(
+            f'<div class="tile {info["band"]}"><b>{node}</b> '
+            f'{info["index"]:.0f} ({info["band"]})</div>'
+            for node, info in tiles.items()
+        )
+        return f'<div class="panel"><h3>{self.title}</h3>{cells or "(no data)"}</div>'
+
+
+@dataclass
+class TextPanel:
+    """Free-form analytic output (a callable returning text)."""
+
+    title: str
+    producer: Callable[[TSDB], str]
+
+    def render_text(self, db: TSDB, width: int = 72) -> str:
+        return f"== {self.title} ==\n{self.producer(db)}"
+
+    def render_html(self, db: TSDB) -> str:
+        return (
+            f'<div class="panel"><h3>{self.title}</h3>'
+            f"<pre>{self.producer(db)}</pre></div>"
+        )
+
+
+Panel = TimeseriesPanel | GaugePanel | AqiPanel | TextPanel
+
+
+@dataclass
+class Dashboard:
+    """A named collection of panels over one TSDB."""
+
+    title: str
+    db: TSDB
+    panels: list[Panel] = field(default_factory=list)
+
+    def add(self, panel: Panel) -> "Dashboard":
+        self.panels.append(panel)
+        return self
+
+    def render_text(self, width: int = 72) -> str:
+        parts = [f"### {self.title} ###"]
+        for panel in self.panels:
+            parts.append(panel.render_text(self.db, width=width))
+        return "\n\n".join(parts)
+
+    def render_html(self) -> str:
+        body = "\n".join(panel.render_html(self.db) for panel in self.panels)
+        return (
+            "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            f"<title>{self.title}</title>"
+            "<style>body{font-family:monospace;background:#f7f7f7}"
+            ".panel{background:#fff;border:1px solid #ccc;margin:8px;"
+            "padding:8px;display:inline-block;vertical-align:top}"
+            ".tile{display:inline-block;margin:4px;padding:6px;"
+            "border-radius:4px;background:#eee}"
+            ".very_low{background:#aaf0c9}.low{background:#d7f0aa}"
+            ".medium{background:#f8e08e}.high{background:#f5b680}"
+            ".very_high{background:#f08a8a}</style></head><body>"
+            f"<h1>{self.title}</h1>\n{body}\n</body></html>"
+        )

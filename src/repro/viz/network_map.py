@@ -1,0 +1,168 @@
+"""Network visualization (paper Fig. 3).
+
+"The dataport further drives a visualization of the network itself ...
+of the structure of digital twins for sensors and gateways, their
+location, the connections and live data transmission between sensors
+and gateways."
+
+Input is :meth:`repro.dataport.Dataport.network_snapshot`; output is an
+ASCII map, an SVG map, or GeoJSON for web maps.  Sensors draw with their
+health state, links with the RSSI of the last reception.
+"""
+
+from __future__ import annotations
+
+from ..geo import BoundingBox, GeoPoint, feature_collection, line_feature, point_feature
+from .render import SvgDocument, TextCanvas
+
+
+def _locations(snapshot: dict) -> dict[str, GeoPoint]:
+    out: dict[str, GeoPoint] = {}
+    for group in ("sensors", "gateways"):
+        for name, status in snapshot.get(group, {}).items():
+            loc = status.get("location")
+            if loc is not None:
+                out[name] = GeoPoint(loc[0], loc[1])
+    return out
+
+
+def _links(snapshot: dict) -> list[tuple[str, str, float | None]]:
+    """(sensor, gateway, rssi) for each sensor's recent gateways."""
+    links = []
+    for name, status in snapshot.get("sensors", {}).items():
+        for gw in status.get("gateways", []):
+            links.append((name, gw, status.get("rssi_dbm")))
+    return links
+
+
+def render_text_map(snapshot: dict, width: int = 72, height: int = 24) -> str:
+    """ASCII Fig. 3: S = healthy sensor, ! = overdue, G = gateway,
+    g = silent gateway, lines = sensor-gateway links."""
+    locations = _locations(snapshot)
+    canvas = TextCanvas(width, height)
+    canvas.frame("CTT network")
+    if not locations:
+        canvas.text(2, height // 2, "(no devices with locations)")
+        return canvas.render()
+    box = BoundingBox.of_points(locations.values(), pad_deg=0.002)
+
+    def project(p: GeoPoint) -> tuple[int, int]:
+        fx = (p.lon - box.west) / max(1e-12, box.east - box.west)
+        fy = (p.lat - box.south) / max(1e-12, box.north - box.south)
+        return (2 + int(fx * (width - 5)), 1 + int((1.0 - fy) * (height - 4)))
+
+    for sensor, gateway, _rssi in _links(snapshot):
+        if sensor in locations and gateway in locations:
+            x0, y0 = project(locations[sensor])
+            x1, y1 = project(locations[gateway])
+            canvas.line(x0, y0, x1, y1, "·")
+
+    overdue = set(snapshot.get("overdue_sensors", []))
+    silent = set(snapshot.get("silent_gateways", []))
+    for name, status in snapshot.get("sensors", {}).items():
+        if name in locations:
+            x, y = project(locations[name])
+            canvas.set(x, y, "!" if name in overdue else "S")
+    for name, status in snapshot.get("gateways", {}).items():
+        if name in locations:
+            x, y = project(locations[name])
+            canvas.set(x, y, "g" if name in silent else "G")
+    summary = (
+        f"sensors={len(snapshot.get('sensors', {}))} "
+        f"gateways={len(snapshot.get('gateways', {}))} "
+        f"overdue={len(overdue)} silent_gw={len(silent)}"
+    )
+    canvas.text(2, height - 2, summary[: width - 4])
+    return canvas.render()
+
+
+def render_svg_map(snapshot: dict, px: int = 560) -> str:
+    """SVG Fig. 3 with RSSI-tinted links and health-coloured nodes."""
+    locations = _locations(snapshot)
+    svg = SvgDocument(px, px)
+    svg.rect(0, 0, px, px, fill="#fbfbfb", stroke="#888")
+    svg.text(10, 18, "CTT network: sensors, gateways, links", size=13)
+    if not locations:
+        return svg.render()
+    box = BoundingBox.of_points(locations.values(), pad_deg=0.002)
+    margin = 36
+
+    def project(p: GeoPoint) -> tuple[float, float]:
+        fx = (p.lon - box.west) / max(1e-12, box.east - box.west)
+        fy = (p.lat - box.south) / max(1e-12, box.north - box.south)
+        return (margin + fx * (px - 2 * margin), margin + (1 - fy) * (px - 2 * margin))
+
+    for sensor, gateway, rssi in _links(snapshot):
+        if sensor in locations and gateway in locations:
+            x0, y0 = project(locations[sensor])
+            x1, y1 = project(locations[gateway])
+            # Stronger links (higher RSSI) draw darker.
+            strength = 0.2 if rssi is None else min(
+                1.0, max(0.15, (rssi + 130.0) / 50.0)
+            )
+            grey = int(200 - strength * 150)
+            svg.line(x0, y0, x1, y1, stroke=f"rgb({grey},{grey},{grey})", width=1.2)
+
+    overdue = set(snapshot.get("overdue_sensors", []))
+    silent = set(snapshot.get("silent_gateways", []))
+    for name in snapshot.get("sensors", {}):
+        if name not in locations:
+            continue
+        x, y = project(locations[name])
+        fill = "#e74c3c" if name in overdue else "#2ecc71"
+        svg.circle(x, y, 5, fill=fill, stroke="#333", title=name)
+    for name in snapshot.get("gateways", {}):
+        if name not in locations:
+            continue
+        x, y = project(locations[name])
+        fill = "#e74c3c" if name in silent else "#2980b9"
+        svg.rect(x - 6, y - 6, 12, 12, fill=fill, stroke="#333")
+        svg.text(x + 8, y + 4, name, size=9)
+    return svg.render()
+
+
+def to_geojson(snapshot: dict) -> dict:
+    """GeoJSON FeatureCollection of nodes, gateways, and links."""
+    locations = _locations(snapshot)
+    overdue = set(snapshot.get("overdue_sensors", []))
+    silent = set(snapshot.get("silent_gateways", []))
+    features = []
+    for name, status in snapshot.get("sensors", {}).items():
+        if name not in locations:
+            continue
+        features.append(
+            point_feature(
+                locations[name],
+                {
+                    "kind": "sensor",
+                    "id": name,
+                    "overdue": name in overdue,
+                    "battery_v": status.get("battery_v"),
+                    "uplinks": status.get("uplinks"),
+                },
+            )
+        )
+    for name, status in snapshot.get("gateways", {}).items():
+        if name not in locations:
+            continue
+        features.append(
+            point_feature(
+                locations[name],
+                {
+                    "kind": "gateway",
+                    "id": name,
+                    "silent": name in silent,
+                    "frames": status.get("frames"),
+                },
+            )
+        )
+    for sensor, gateway, rssi in _links(snapshot):
+        if sensor in locations and gateway in locations:
+            features.append(
+                line_feature(
+                    [locations[sensor], locations[gateway]],
+                    {"kind": "link", "sensor": sensor, "gateway": gateway,
+                     "rssi_dbm": rssi},
+                )
+            )
+    return feature_collection(features)

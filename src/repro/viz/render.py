@@ -1,0 +1,206 @@
+"""Low-level rendering primitives: text canvas, sparklines, SVG.
+
+Dashboards in this reproduction render to two targets: fixed-width text
+(terminal / tests / wall display) and dependency-free SVG (the "web
+interface" artifacts).  Everything here is deterministic string
+building — no drawing libraries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: np.ndarray, width: int | None = None) -> str:
+    """Unicode sparkline of a series (NaNs render as spaces).
+
+    When ``width`` is given the series is resampled to that many bins by
+    averaging.
+    """
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        return ""
+    if width is not None and width > 0 and v.size != width:
+        edges = np.linspace(0, v.size, width + 1).astype(int)
+        v = np.array(
+            [
+                np.nanmean(v[a:b]) if b > a and np.isfinite(v[a:b]).any() else np.nan
+                for a, b in zip(edges[:-1], edges[1:])
+            ]
+        )
+    finite = v[np.isfinite(v)]
+    if finite.size == 0:
+        return " " * v.size
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo
+    chars = []
+    for x in v:
+        if not np.isfinite(x):
+            chars.append(" ")
+            continue
+        frac = 0.5 if span == 0 else (x - lo) / span
+        idx = 1 + int(round(frac * (len(SPARK_CHARS) - 2)))
+        chars.append(SPARK_CHARS[idx])
+    return "".join(chars)
+
+
+def horizontal_bar(value: float, vmax: float, width: int = 20) -> str:
+    """A ``[#####.....]``-style bar."""
+    if vmax <= 0:
+        return "[" + "." * width + "]"
+    filled = int(round(min(1.0, max(0.0, value / vmax)) * width))
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+class TextCanvas:
+    """A character grid with plot/line/text primitives."""
+
+    def __init__(self, width: int, height: int, fill: str = " ") -> None:
+        if width < 1 or height < 1:
+            raise ValueError("canvas must be at least 1x1")
+        self.width = width
+        self.height = height
+        self._rows = [[fill] * width for _ in range(height)]
+
+    def set(self, x: int, y: int, char: str) -> None:
+        """Place a character; out-of-bounds writes are clipped."""
+        if 0 <= x < self.width and 0 <= y < self.height:
+            self._rows[y][x] = char[0]
+
+    def text(self, x: int, y: int, s: str) -> None:
+        for i, ch in enumerate(s):
+            self.set(x + i, y, ch)
+
+    def line(self, x0: int, y0: int, x1: int, y1: int, char: str = "·") -> None:
+        """Bresenham line."""
+        dx, dy = abs(x1 - x0), -abs(y1 - y0)
+        sx = 1 if x0 < x1 else -1
+        sy = 1 if y0 < y1 else -1
+        err = dx + dy
+        x, y = x0, y0
+        while True:
+            self.set(x, y, char)
+            if x == x1 and y == y1:
+                break
+            e2 = 2 * err
+            if e2 >= dy:
+                err += dy
+                x += sx
+            if e2 <= dx:
+                err += dx
+                y += sy
+
+    def frame(self, title: str | None = None) -> None:
+        """Draw a box border, optionally with a title in the top edge."""
+        for x in range(self.width):
+            self.set(x, 0, "-")
+            self.set(x, self.height - 1, "-")
+        for y in range(self.height):
+            self.set(0, y, "|")
+            self.set(self.width - 1, y, "|")
+        for x, y in ((0, 0), (self.width - 1, 0), (0, self.height - 1),
+                     (self.width - 1, self.height - 1)):
+            self.set(x, y, "+")
+        if title:
+            self.text(2, 0, f" {title[: self.width - 6]} ")
+
+    def render(self) -> str:
+        return "\n".join("".join(row).rstrip() for row in self._rows)
+
+
+# ---------------------------------------------------------------------------
+# SVG
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SvgDocument:
+    """Minimal SVG builder (no external dependencies)."""
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        self._elements: list[str] = []
+
+    def rect(self, x, y, w, h, fill="none", stroke="black", opacity=1.0) -> None:
+        self._elements.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{fill}" stroke="{stroke}" opacity="{opacity:.2f}"/>'
+        )
+
+    def circle(self, cx, cy, r, fill="black", stroke="none", title=None) -> None:
+        body = (
+            f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="{r:.1f}" '
+            f'fill="{fill}" stroke="{stroke}">'
+        )
+        if title:
+            body += f"<title>{_escape(title)}</title>"
+        body += "</circle>"
+        self._elements.append(body)
+
+    def line(self, x1, y1, x2, y2, stroke="black", width=1.0, dash=None) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{stroke}" stroke-width="{width:.1f}"{dash_attr}/>'
+        )
+
+    def polyline(self, points: list[tuple[float, float]], stroke="steelblue",
+                 width=1.5) -> None:
+        pts = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self._elements.append(
+            f'<polyline points="{pts}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width:.1f}"/>'
+        )
+
+    def polygon(self, points: list[tuple[float, float]], fill="#ccc",
+                stroke="#666", title=None) -> None:
+        pts = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        body = f'<polygon points="{pts}" fill="{fill}" stroke="{stroke}">'
+        if title:
+            body += f"<title>{_escape(title)}</title>"
+        body += "</polygon>"
+        self._elements.append(body)
+
+    def text(self, x, y, s, size=11, fill="black", anchor="start") -> None:
+        self._elements.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'fill="{fill}" text-anchor="{anchor}" '
+            f'font-family="monospace">{_escape(s)}</text>'
+        )
+
+    def render(self) -> str:
+        inner = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n  {inner}\n</svg>'
+        )
+
+
+def _escape(s: str) -> str:
+    return (
+        str(s)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+#: Pollution-level colour ramp (low → high), shared across views.
+COLOR_RAMP = ("#2ecc71", "#a3d977", "#f1c40f", "#e67e22", "#e74c3c")
+
+
+def value_color(value: float, vmin: float, vmax: float) -> str:
+    """Colour for a value on the shared low→high ramp."""
+    if not math.isfinite(value) or vmax <= vmin:
+        return "#999999"
+    frac = min(1.0, max(0.0, (value - vmin) / (vmax - vmin)))
+    return COLOR_RAMP[min(len(COLOR_RAMP) - 1, int(frac * len(COLOR_RAMP)))]

@@ -1,0 +1,64 @@
+"""Wall display (paper Fig. 8): "a full network and data overview wall
+display" — network monitoring and data dashboards composed into one
+large view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dataport import AlarmLog, Severity
+from ..tsdb import TSDB
+from .dashboard import Dashboard
+from .network_map import render_text_map
+
+
+def render_alarm_panel(alarms: AlarmLog, width: int = 72) -> str:
+    """The alarm strip of the wall display."""
+    lines = ["== Active alarms =="]
+    active = alarms.active()
+    if not active:
+        lines.append("  (all clear)")
+    for alarm in active[:12]:
+        marker = {
+            Severity.CRITICAL: "!!",
+            Severity.WARNING: " !",
+            Severity.INFO: "  ",
+        }[alarm.severity]
+        lines.append(f"  {marker} [{alarm.kind.value}] {alarm.message}"[:width])
+    if len(active) > 12:
+        lines.append(f"  ... and {len(active) - 12} more")
+    return "\n".join(lines)
+
+
+@dataclass
+class WallDisplay:
+    """Composite view: network map + alarms + data dashboards."""
+
+    title: str
+    db: TSDB
+    alarms: AlarmLog
+    snapshot_provider: object  # callable -> network snapshot dict
+    dashboards: list[Dashboard] = field(default_factory=list)
+
+    def add_dashboard(self, dashboard: Dashboard) -> "WallDisplay":
+        self.dashboards.append(dashboard)
+        return self
+
+    def render_text(self, width: int = 76) -> str:
+        snapshot = self.snapshot_provider()  # type: ignore[operator]
+        sections = [
+            f"#### {self.title} ####",
+            render_text_map(snapshot, width=width, height=20),
+            render_alarm_panel(self.alarms, width=width),
+        ]
+        for dashboard in self.dashboards:
+            sections.append(dashboard.render_text(width=width))
+        stats = snapshot.get("sensors", {})
+        live = sum(1 for s in stats.values() if not s.get("overdue"))
+        sections.append(
+            f"fleet: {live}/{len(stats)} sensors live, "
+            f"{len(snapshot.get('gateways', {}))} gateways, "
+            f"{len(self.alarms)} active alarms"
+        )
+        return "\n\n".join(sections)

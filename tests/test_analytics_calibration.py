@@ -1,0 +1,242 @@
+"""Tests for calibration, outlier detection, and imputation."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    CalibrationError,
+    accuracy,
+    diurnal_impute,
+    diurnal_profile,
+    drift_against_peers,
+    fit_colocation,
+    gap_report,
+    interpolate_gaps,
+    propagate_network,
+    rolling_mad_outliers,
+    stuck_values,
+)
+
+
+def truth_series(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return 400.0 + 15.0 * np.sin(2 * np.pi * t / 48.0) + rng.normal(0, 2.0, n)
+
+
+class TestAccuracy:
+    def test_perfect_sensor(self):
+        ref = truth_series()
+        report = accuracy(ref, ref)
+        assert report.rmse == 0.0
+        assert report.bias == 0.0
+        assert report.correlation == pytest.approx(1.0)
+
+    def test_biased_sensor(self):
+        ref = truth_series()
+        report = accuracy(ref + 10.0, ref)
+        assert report.bias == pytest.approx(10.0)
+        assert report.correlation == pytest.approx(1.0)
+
+    def test_nan_pairs_dropped(self):
+        ref = truth_series()
+        sensor = ref.copy()
+        sensor[:10] = np.nan
+        report = accuracy(sensor, ref)
+        assert report.n == ref.size - 10
+
+    def test_misaligned_raises(self):
+        with pytest.raises(CalibrationError):
+            accuracy(np.zeros(5), np.zeros(6))
+
+    def test_too_few_pairs(self):
+        with pytest.raises(CalibrationError):
+            accuracy(np.array([1.0, np.nan]), np.array([1.0, 2.0]))
+
+
+class TestColocation:
+    def test_recovers_known_transfer(self):
+        rng = np.random.default_rng(1)
+        ref = truth_series(seed=1)
+        raw = (ref - 20.0) / 1.05 + rng.normal(0, 0.5, ref.size)
+        cal = fit_colocation(raw, ref)
+        assert cal.gain == pytest.approx(1.05, rel=0.03)
+        # Noise on the regressor attenuates the fit slightly (classic
+        # errors-in-variables), so the offset tolerance is generous.
+        assert cal.offset == pytest.approx(20.0, abs=8.0)
+        corrected = cal.apply(raw)
+        assert accuracy(corrected, ref).rmse < accuracy(raw, ref).rmse
+
+    def test_min_pairs_enforced(self):
+        with pytest.raises(CalibrationError):
+            fit_colocation(np.arange(10.0), np.arange(10.0), min_pairs=24)
+
+    def test_constant_raw_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_colocation(np.ones(50), truth_series(50))
+
+    def test_calibration_improves_low_cost_sensor(self):
+        """The paper's premise: a drifted low-cost sensor becomes usable
+        after co-location calibration."""
+        rng = np.random.default_rng(2)
+        ref = truth_series(500, seed=2)
+        raw = ref * 1.08 + 25.0 + rng.normal(0, 8.0, ref.size)
+        before = accuracy(raw, ref)
+        cal = fit_colocation(raw[:200], ref[:200])  # fit on first chunk
+        after = accuracy(cal.apply(raw[200:]), ref[200:])  # evaluate out-of-sample
+        assert before.rmse > 25.0
+        assert after.rmse < 10.0
+
+
+class TestNetworkPropagation:
+    def test_offsets_align_medians(self):
+        rng = np.random.default_rng(3)
+        ref = truth_series(300, seed=3)
+        anchor_raw = ref / 1.02 - 5.0 + rng.normal(0, 1.0, 300)
+        cal = fit_colocation(anchor_raw, ref)
+        series = {
+            "anchor": anchor_raw,
+            "nodeB": ref / 1.02 + 30.0 + rng.normal(0, 1.0, 300),
+            "nodeC": ref / 1.02 - 40.0 + rng.normal(0, 1.0, 300),
+        }
+        net = propagate_network("anchor", cal, series)
+        for node in ("nodeB", "nodeC"):
+            corrected = net.for_node(node).apply(series[node])
+            assert abs(np.median(corrected) - np.median(ref)) < 5.0
+
+    def test_lower_certainty_encoded(self):
+        rng = np.random.default_rng(4)
+        ref = truth_series(300, seed=4)
+        anchor_raw = ref + rng.normal(0, 1.0, 300)
+        cal = fit_colocation(anchor_raw, ref)
+        net = propagate_network(
+            "anchor", cal, {"anchor": anchor_raw, "nodeB": ref + 10.0}
+        )
+        assert net.for_node("nodeB").residual_sigma == pytest.approx(
+            2.0 * cal.residual_sigma
+        )
+
+    def test_missing_anchor_raises(self):
+        cal = fit_colocation(truth_series(100), truth_series(100))
+        with pytest.raises(CalibrationError):
+            propagate_network("anchor", cal, {"other": np.ones(30)})
+
+    def test_sparse_node_falls_back_to_anchor(self):
+        ref = truth_series(100, seed=5)
+        cal = fit_colocation(ref, ref)
+        net = propagate_network(
+            "anchor", cal, {"anchor": ref, "sparse": np.full(100, np.nan)}
+        )
+        assert net.for_node("sparse") is cal
+
+
+class TestOutliers:
+    def test_spike_detected(self):
+        v = truth_series(200, seed=6)
+        v[100] += 200.0
+        report = rolling_mad_outliers(v, window=24, threshold=5.0)
+        assert 100 in report.indices.tolist()
+
+    def test_clean_series_no_outliers(self):
+        v = truth_series(200, seed=7)
+        report = rolling_mad_outliers(v, window=24, threshold=6.0)
+        assert len(report) == 0
+
+    def test_nan_tolerated(self):
+        v = truth_series(100, seed=8)
+        v[40:45] = np.nan
+        v[60] += 300.0
+        report = rolling_mad_outliers(v)
+        assert 60 in report.indices.tolist()
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            rolling_mad_outliers(np.ones(10), window=2)
+
+    def test_stuck_run_found(self):
+        v = truth_series(100, seed=9)
+        v[30:45] = 412.0
+        runs = stuck_values(v, min_run=6)
+        assert len(runs) == 1
+        assert runs[0].start_index == 30
+        assert runs[0].length == 15
+
+    def test_short_repeats_ignored(self):
+        v = np.array([1.0, 2.0, 2.0, 3.0])
+        assert stuck_values(v, min_run=3) == []
+
+    def test_stuck_validation(self):
+        with pytest.raises(ValueError):
+            stuck_values(np.ones(5), min_run=1)
+
+    def test_drift_against_peers(self):
+        n = 400
+        t = np.arange(n) * 3600.0
+        base = truth_series(n, seed=10)
+        series = {
+            "a": base + 1.0,
+            "b": base - 1.0,
+            "c": base + 0.5,
+            "decaying": base + (t / 86400.0) * 3.0,  # 3 units/day drift
+        }
+        reports = drift_against_peers(series, t, max_drift_per_day=1.0)
+        by_node = {r.node_id: r for r in reports}
+        assert by_node["decaying"].suspicious
+        assert by_node["decaying"].drift_per_day == pytest.approx(3.0, rel=0.2)
+        assert not by_node["a"].suspicious
+
+    def test_drift_needs_three_nodes(self):
+        with pytest.raises(ValueError):
+            drift_against_peers({"a": np.ones(5)}, np.arange(5.0))
+
+
+class TestImputation:
+    def test_gap_report(self):
+        v = np.array([1.0, np.nan, np.nan, 2.0, np.nan, 3.0])
+        report = gap_report(v, cadence_s=300)
+        assert len(report) == 2
+        assert report.gaps[0].length == 2
+        assert report.longest_gap_s == 600
+        assert report.missing_fraction == pytest.approx(0.5)
+
+    def test_gap_at_end(self):
+        v = np.array([1.0, np.nan, np.nan])
+        report = gap_report(v, cadence_s=60)
+        assert report.gaps[-1].length == 2
+
+    def test_interpolate_short_gaps_only(self):
+        v = np.array([0.0, np.nan, 2.0, np.nan, np.nan, np.nan, np.nan, 7.0])
+        out = interpolate_gaps(v, max_gap=2)
+        assert out[1] == pytest.approx(1.0)
+        assert np.isnan(out[4])  # 4-long gap left alone
+
+    def test_interpolate_edge_gap_left_alone(self):
+        v = np.array([np.nan, 1.0, 2.0])
+        out = interpolate_gaps(v, max_gap=3)
+        assert np.isnan(out[0])
+
+    def test_diurnal_profile_shape(self):
+        ts = np.arange(0, 7 * 86400, 3600)
+        v = 10.0 + 5.0 * np.sin(2 * np.pi * (ts % 86400) / 86400.0)
+        profile = diurnal_profile(v, ts)
+        assert profile.shape == (24,)
+        assert np.nanargmax(profile) == 6  # sin peaks a quarter-day in
+
+    def test_diurnal_impute_fills_long_gap(self):
+        ts = np.arange(0, 7 * 86400, 3600)
+        rng = np.random.default_rng(11)
+        v = 10.0 + 5.0 * np.sin(2 * np.pi * (ts % 86400) / 86400.0)
+        v += rng.normal(0, 0.2, v.size)
+        corrupted = v.copy()
+        corrupted[50:74] = np.nan  # a full missing day
+        filled = diurnal_impute(corrupted, ts)
+        assert np.isfinite(filled).all()
+        # The imputed day must resemble the true diurnal shape.
+        err = np.abs(filled[50:74] - v[50:74])
+        assert err.mean() < 1.5
+
+    def test_diurnal_impute_all_nan_unchanged(self):
+        ts = np.arange(0, 86400, 3600)
+        v = np.full(24, np.nan)
+        out = diurnal_impute(v, ts)
+        assert np.isnan(out).all()

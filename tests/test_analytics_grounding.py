@@ -1,0 +1,72 @@
+"""Tests for satellite measurement grounding."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import ground_against_satellite
+from repro.geo import BoundingBox, TRONDHEIM
+from repro.integration import Oco2Connector
+from repro.sensors import UrbanEnvironment
+from repro.simclock import DAY, HOUR
+from repro.tsdb import METRIC_CO2, TSDB
+
+
+@pytest.fixture(scope="module")
+def grounded_setup():
+    """90 days of hourly network CO2 plus a satellite over the region."""
+    env = UrbanEnvironment("trondheim", TRONDHEIM, seed=7)
+    region = BoundingBox.around(TRONDHEIM, 8000.0)
+    satellite = Oco2Connector(region, env, seed=5, cloud_failure_limit=1.1)
+    db = TSDB()
+    start, end = 0, 90 * DAY
+    for ts in range(start, end, HOUR):
+        # Two nodes sampling the true field (grounding compares signals,
+        # not calibration, so truth-level data keeps the test focused).
+        for i, bearing in enumerate((0.0, 120.0)):
+            loc = TRONDHEIM.destination(bearing, 600.0)
+            db.put(
+                METRIC_CO2,
+                ts,
+                env.co2_ppm(ts, loc),
+                {"city": "trondheim", "node": f"n{i}"},
+            )
+    return db, satellite, start, end
+
+
+class TestGrounding:
+    def test_report_covers_overpasses(self, grounded_setup):
+        db, satellite, start, end = grounded_setup
+        report = ground_against_satellite(db, satellite, "trondheim", start, end)
+        assert len(report) >= 4  # ~5-6 overpasses in 90 days
+        for c in report.comparisons:
+            assert c.n_soundings > 0
+            assert 380.0 < c.satellite_xco2_ppm < 430.0
+
+    def test_column_enhancement_diluted(self, grounded_setup):
+        """The physical shape: column enhancements are much smaller than
+        surface enhancements (the ~1/30 dilution)."""
+        db, satellite, start, end = grounded_setup
+        report = ground_against_satellite(db, satellite, "trondheim", start, end)
+        surf = np.mean(
+            [abs(c.network_enhancement_ppm) for c in report.comparisons]
+        )
+        sat = np.mean(
+            [abs(c.satellite_enhancement_ppm) for c in report.comparisons]
+        )
+        assert surf > sat  # dilution in the right direction
+
+    def test_mostly_consistent(self, grounded_setup):
+        db, satellite, start, end = grounded_setup
+        report = ground_against_satellite(db, satellite, "trondheim", start, end)
+        assert report.consistent_fraction >= 0.5
+
+    def test_background_defaulting(self, grounded_setup):
+        db, satellite, start, end = grounded_setup
+        report = ground_against_satellite(db, satellite, "trondheim", start, end)
+        assert 380.0 < report.background_ppm < 430.0
+
+    def test_needs_network_data(self, grounded_setup):
+        db, satellite, start, end = grounded_setup
+        empty = TSDB()
+        with pytest.raises(ValueError):
+            ground_against_satellite(empty, satellite, "trondheim", start, end)

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.city == "trondheim"
+        assert args.hours == 6
+        assert args.seed == 0
+
+    def test_city_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--city", "oslo"])
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        assert main(["run", "--city", "vejle", "--hours", "1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "vejle: 1 simulated hour(s)" in out
+        assert "transmissions" in out
+
+    def test_dashboard(self, capsys):
+        assert main(["dashboard", "--city", "vejle", "--hours", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "CAQI per node" in out
+
+    def test_wall(self, capsys):
+        assert main(["wall", "--city", "vejle", "--hours", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "CTT wall" in out
+        assert "Active alarms" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--city", "vejle"]) == 0
+        out = capsys.readouterr().out
+        assert "NILU" in out
+        assert "connector" in out
+
+    def test_run_deterministic(self, capsys):
+        main(["run", "--city", "vejle", "--hours", "1", "--seed", "3"])
+        first = capsys.readouterr().out
+        main(["run", "--city", "vejle", "--hours", "1", "--seed", "3"])
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,160 @@
+"""Tests for intervention what-ifs (street closures, transit, spillover)."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    StreetClosure,
+    TransitImprovement,
+    apply_intervention,
+    assess_intervention,
+)
+from repro.geo import TRONDHEIM
+from repro.sensors import RoadSegment, UrbanEnvironment
+from repro.simclock import from_datetime
+
+
+def roads():
+    return [
+        RoadSegment("main", TRONDHEIM.destination(200.0, 1000.0),
+                    TRONDHEIM.destination(20.0, 1000.0), traffic_weight=1.0),
+        RoadSegment("east", TRONDHEIM.destination(90.0, 400.0),
+                    TRONDHEIM.destination(90.0, 2000.0), traffic_weight=0.5),
+        RoadSegment("west", TRONDHEIM.destination(270.0, 400.0),
+                    TRONDHEIM.destination(270.0, 2000.0), traffic_weight=0.5),
+    ]
+
+
+def rush_hours():
+    base = from_datetime(dt.datetime(2017, 6, 14))  # a Wednesday
+    return [base + h * 3600 for h in (7, 8, 9, 15, 16, 17)]
+
+
+class TestInterventionDefinitions:
+    def test_closure_validation(self):
+        with pytest.raises(ValueError):
+            StreetClosure("main", reduction=0.0)
+        with pytest.raises(ValueError):
+            StreetClosure("main", evasion_fraction=1.5)
+
+    def test_transit_validation(self):
+        with pytest.raises(ValueError):
+            TransitImprovement(traffic_reduction=0.0)
+        with pytest.raises(ValueError):
+            TransitImprovement(traffic_reduction=1.0)
+
+
+class TestApplyIntervention:
+    def test_full_closure_zeroes_target(self):
+        out = apply_intervention(roads(), StreetClosure("main"))
+        by_name = {r.name: r for r in out}
+        assert by_name["main"].traffic_weight == 0.0
+
+    def test_evasion_spills_to_other_roads(self):
+        out = apply_intervention(
+            roads(), StreetClosure("main", evasion_fraction=0.6)
+        )
+        by_name = {r.name: r for r in out}
+        # 1.0 removed, 0.6 evades, split by existing weight (0.5 / 0.5).
+        assert by_name["east"].traffic_weight == pytest.approx(0.5 + 0.3)
+        assert by_name["west"].traffic_weight == pytest.approx(0.5 + 0.3)
+
+    def test_no_evasion_traffic_disappears(self):
+        out = apply_intervention(
+            roads(), StreetClosure("main", evasion_fraction=0.0)
+        )
+        total_before = sum(r.traffic_weight for r in roads())
+        total_after = sum(r.traffic_weight for r in out)
+        assert total_after == pytest.approx(total_before - 1.0)
+
+    def test_partial_reduction(self):
+        out = apply_intervention(
+            roads(), StreetClosure("main", reduction=0.5, evasion_fraction=0.0)
+        )
+        by_name = {r.name: r for r in out}
+        assert by_name["main"].traffic_weight == pytest.approx(0.5)
+
+    def test_unknown_road(self):
+        with pytest.raises(ValueError):
+            apply_intervention(roads(), StreetClosure("nope"))
+
+    def test_transit_scales_everything(self):
+        out = apply_intervention(roads(), TransitImprovement(0.2))
+        for before, after in zip(roads(), out):
+            assert after.traffic_weight == pytest.approx(
+                before.traffic_weight * 0.8
+            )
+
+    def test_ordering_preserved(self):
+        out = apply_intervention(roads(), StreetClosure("east"))
+        assert [r.name for r in out] == ["main", "east", "west"]
+
+
+class TestAssessIntervention:
+    def make_env(self):
+        return UrbanEnvironment("trondheim", TRONDHEIM, seed=7, roads=roads())
+
+    def probes(self):
+        return {
+            "on-main": TRONDHEIM.destination(200.0, 1000.0),
+            "on-east": TRONDHEIM.destination(90.0, 1200.0),
+            "residential": TRONDHEIM.destination(0.0, 2500.0),
+        }
+
+    def test_validation(self):
+        env = self.make_env()
+        with pytest.raises(ValueError):
+            assess_intervention(env, StreetClosure("main"), {}, rush_hours())
+        with pytest.raises(ValueError):
+            assess_intervention(env, StreetClosure("main"), self.probes(), [])
+
+    def test_closure_improves_target_street(self):
+        env = self.make_env()
+        assessment = assess_intervention(
+            env, StreetClosure("main"), self.probes(), rush_hours()
+        )
+        by_label = {i.label: i for i in assessment.impacts}
+        assert by_label["on-main"].improved
+        assert by_label["on-main"].no2_delta < -2.0
+
+    def test_closure_causes_spillover(self):
+        """The paper's point: evasion effects are observable elsewhere."""
+        env = self.make_env()
+        assessment = assess_intervention(
+            env,
+            StreetClosure("main", evasion_fraction=0.8),
+            self.probes(),
+            rush_hours(),
+        )
+        by_label = {i.label: i for i in assessment.impacts}
+        assert by_label["on-east"].no2_delta > 0.0  # evaded traffic arrives
+        assert assessment.spillover_locations
+
+    def test_transit_improvement_helps_everywhere(self):
+        env = self.make_env()
+        assessment = assess_intervention(
+            env, TransitImprovement(0.3), self.probes(), rush_hours()
+        )
+        deltas = [i.no2_delta for i in assessment.impacts]
+        assert all(d <= 0.05 for d in deltas)
+        assert assessment.net_no2_delta < 0.0
+        assert not assessment.spillover_locations
+
+    def test_weather_held_constant(self):
+        """Deltas isolate traffic: the counterfactual shares the seed, so
+        a do-nothing intervention changes nothing."""
+        env = self.make_env()
+        noop = StreetClosure("main", reduction=1e-9 + 0.000001)
+        assessment = assess_intervention(env, noop, self.probes(), rush_hours())
+        assert abs(assessment.net_no2_delta) < 0.05
+
+    def test_summary_readable(self):
+        env = self.make_env()
+        assessment = assess_intervention(
+            env, StreetClosure("main"), self.probes(), rush_hours()
+        )
+        text = assessment.summary()
+        assert "on-main" in text
+        assert "net mean NO2 change" in text

@@ -1,0 +1,59 @@
+"""ADR loop: the network tunes device data rates from link quality."""
+
+import pytest
+
+from repro.core import CttEcosystem, EcosystemConfig, trondheim_deployment, vejle_deployment
+from repro.lorawan import airtime_s
+from repro.simclock import HOUR
+
+
+class TestAdrLoop:
+    def test_close_nodes_step_down_to_fast_sf(self):
+        """Vejle nodes sit a few hundred metres from the gateway: after a
+        window of strong uplinks, ADR drops them from SF9 to SF7."""
+        eco = CttEcosystem(
+            [vejle_deployment()],
+            config=EcosystemConfig(seed=3, shadowing_sigma_db=2.0),
+        )
+        eco.start()
+        city = eco.city("vejle")
+        assert all(n.device.sf == 9 for n in city.nodes.values())
+        eco.run(3 * HOUR)  # > ADR_WINDOW uplinks per node
+        changed = city.apply_adr()
+        assert changed  # at least one device retuned
+        for node_id, (old, new) in changed.items():
+            assert new < old  # strong links go faster, never slower here
+        assert all(n.device.sf <= 9 for n in city.nodes.values())
+
+    def test_adr_shortens_airtime(self):
+        eco = CttEcosystem(
+            [vejle_deployment()],
+            config=EcosystemConfig(seed=3, shadowing_sigma_db=2.0),
+        )
+        eco.start()
+        city = eco.city("vejle")
+        before = airtime_s(31, city.nodes["ctt-vj-01"].device.sf)
+        eco.run(3 * HOUR)
+        city.apply_adr()
+        after = airtime_s(31, city.nodes["ctt-vj-01"].device.sf)
+        assert after < before  # the whole point of ADR
+
+    def test_adr_noop_without_enough_history(self):
+        eco = CttEcosystem([vejle_deployment()], config=EcosystemConfig(seed=3))
+        eco.start()
+        eco.run(20 * 60)  # only ~4 uplinks: below the ADR window
+        assert eco.city("vejle").apply_adr() == {}
+
+    def test_network_keeps_working_after_adr(self):
+        eco = CttEcosystem(
+            [vejle_deployment()],
+            config=EcosystemConfig(seed=3, shadowing_sigma_db=2.0),
+        )
+        eco.start()
+        city = eco.city("vejle")
+        eco.run(3 * HOUR)
+        processed_before = city.dataport.stats.uplinks_processed
+        city.apply_adr()
+        eco.run(2 * HOUR)
+        assert city.dataport.stats.uplinks_processed > processed_before
+        assert city.delivery_stats()["end_to_end_rate"] > 0.85

@@ -1,0 +1,62 @@
+"""Tests for repro.geo.geojson."""
+
+import json
+
+import pytest
+
+from repro.geo import (
+    GeoPoint,
+    dumps,
+    feature_collection,
+    line_feature,
+    point_feature,
+    polygon_feature,
+)
+
+
+def test_point_feature_structure():
+    f = point_feature(GeoPoint(63.4, 10.4), {"name": "ctt-01"})
+    assert f["type"] == "Feature"
+    assert f["geometry"]["type"] == "Point"
+    assert f["geometry"]["coordinates"] == [10.4, 63.4]  # lon first
+    assert f["properties"]["name"] == "ctt-01"
+
+
+def test_point_feature_default_properties():
+    f = point_feature(GeoPoint(0.0, 0.0))
+    assert f["properties"] == {}
+
+
+def test_line_feature():
+    f = line_feature([GeoPoint(0.0, 0.0), GeoPoint(1.0, 1.0)], {"kind": "link"})
+    assert f["geometry"]["type"] == "LineString"
+    assert len(f["geometry"]["coordinates"]) == 2
+
+
+def test_line_feature_too_short():
+    with pytest.raises(ValueError):
+        line_feature([GeoPoint(0.0, 0.0)])
+
+
+def test_polygon_auto_close():
+    ring = [GeoPoint(0.0, 0.0), GeoPoint(0.0, 1.0), GeoPoint(1.0, 1.0)]
+    f = polygon_feature(ring)
+    coords = f["geometry"]["coordinates"][0]
+    assert coords[0] == coords[-1]
+    assert len(coords) == 4
+
+
+def test_polygon_too_short():
+    with pytest.raises(ValueError):
+        polygon_feature([GeoPoint(0.0, 0.0), GeoPoint(1.0, 1.0)])
+
+
+def test_feature_collection_and_dumps_round_trip():
+    fc = feature_collection(
+        [point_feature(GeoPoint(1.0, 2.0), {"i": i}) for i in range(3)]
+    )
+    text = dumps(fc)
+    parsed = json.loads(text)
+    assert parsed["type"] == "FeatureCollection"
+    assert len(parsed["features"]) == 3
+    assert parsed["features"][2]["properties"]["i"] == 2

@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) for the TSDB core invariants."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.tsdb import (
+    DataPoint,
+    Downsample,
+    Query,
+    SeriesStore,
+    TSDB,
+    format_point,
+    load,
+    parse_line,
+)
+from repro.tsdb.downsample import FillPolicy, apply as apply_downsample
+
+timestamps = st.integers(min_value=0, max_value=2**40)
+values = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+points = st.lists(st.tuples(timestamps, values), min_size=0, max_size=200)
+
+
+class TestSeriesStoreProperties:
+    @given(points)
+    @settings(max_examples=200, deadline=None)
+    def test_scan_always_sorted_and_unique(self, pts):
+        store = SeriesStore()
+        for t, v in pts:
+            store.append(t, v)
+        sl = store.scan()
+        ts = sl.timestamps
+        assert np.all(np.diff(ts) > 0)  # strictly increasing: sorted + deduped
+        assert len(sl) == len({t for t, _ in pts})
+
+    @given(points)
+    @settings(max_examples=100, deadline=None)
+    def test_last_write_wins(self, pts):
+        store = SeriesStore()
+        expected: dict[int, float] = {}
+        for t, v in pts:
+            store.append(t, v)
+            expected[t] = v
+        sl = store.scan()
+        got = dict(zip(sl.timestamps.tolist(), sl.values.tolist()))
+        assert got == expected
+
+    @given(points, timestamps, timestamps)
+    @settings(max_examples=100, deadline=None)
+    def test_range_scan_is_filter(self, pts, a, b):
+        lo, hi = min(a, b), max(a, b)
+        store = SeriesStore()
+        for t, v in pts:
+            store.append(t, v)
+        full = store.scan()
+        ranged = store.scan(lo, hi)
+        mask = (full.timestamps >= lo) & (full.timestamps <= hi)
+        assert np.array_equal(ranged.timestamps, full.timestamps[mask])
+
+    @given(points, timestamps)
+    @settings(max_examples=100, deadline=None)
+    def test_delete_before_counts(self, pts, cutoff):
+        store = SeriesStore()
+        for t, v in pts:
+            store.append(t, v)
+        before = len(store.scan())
+        dropped = store.delete_before(cutoff)
+        after = store.scan()
+        assert dropped == before - len(after)
+        assert (after.timestamps >= cutoff).all()
+
+
+metric_names = st.sampled_from(["m.a", "m.b", "air.co2.ppm"])
+tag_values = st.sampled_from(["n1", "n2", "n3"])
+
+
+class TestRoundTripProperties:
+    @given(metric_names, timestamps, values, tag_values)
+    @settings(max_examples=200, deadline=None)
+    def test_line_protocol_round_trip(self, metric, ts, value, node):
+        p = DataPoint.make(metric, ts, value, {"node": node})
+        assert parse_line(format_point(p)) == p
+
+    @given(
+        st.lists(
+            st.tuples(metric_names, timestamps, values, tag_values),
+            min_size=0,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_dump_load_preserves_database(self, rows):
+        from repro.tsdb import dumps
+
+        db = TSDB()
+        for metric, ts, value, node in rows:
+            db.put(metric, ts, value, {"node": node})
+        restored = load(io.StringIO(dumps(db)))
+        assert restored.metrics() == db.metrics()
+        assert restored.point_count == db.point_count
+        for metric in db.metrics():
+            q = Query(metric, 0, 2**41)
+            a = db.run(q).single()
+            b = restored.run(q).single()
+            assert np.array_equal(a.timestamps, b.timestamps)
+            assert np.allclose(a.values, b.values)
+
+
+class TestDownsampleProperties:
+    @given(points, st.sampled_from([60, 300, 3600]))
+    @settings(max_examples=100, deadline=None)
+    def test_bucket_timestamps_aligned(self, pts, width):
+        store = SeriesStore()
+        for t, v in pts:
+            store.append(t, v)
+        out = apply_downsample(store.scan(), Downsample(width, "avg"))
+        assert all(int(t) % width == 0 for t in out.timestamps)
+
+    @given(points, st.sampled_from([60, 300]))
+    @settings(max_examples=100, deadline=None)
+    def test_avg_bucket_within_min_max(self, pts, width):
+        assume(pts)
+        store = SeriesStore()
+        for t, v in pts:
+            store.append(t, v)
+        sl = store.scan()
+        out = apply_downsample(sl, Downsample(width, "avg"))
+        lo, hi = sl.values.min(), sl.values.max()
+        assert ((out.values >= lo - 1e-9) & (out.values <= hi + 1e-9)).all()
+
+    @given(points, st.sampled_from([60, 300]))
+    @settings(max_examples=100, deadline=None)
+    def test_count_conserved(self, pts, width):
+        """Sum of bucket counts equals the number of deduped points."""
+        store = SeriesStore()
+        for t, v in pts:
+            store.append(t, v)
+        sl = store.scan()
+        out = apply_downsample(sl, Downsample(width, "count"))
+        assert out.values.sum() == len(sl)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10**6), values), min_size=2, max_size=200
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fill_previous_never_creates_new_values(self, pts):
+        # Bounded span: gap filling materializes the whole bucket range.
+        store = SeriesStore()
+        for t, v in pts:
+            store.append(t, v)
+        out = apply_downsample(
+            store.scan(), Downsample(300, "last", FillPolicy.PREVIOUS)
+        )
+        finite = out.values[np.isfinite(out.values)]
+        allowed = set(store.scan().values.tolist())
+        assert all(v in allowed for v in finite.tolist())
+
+
+class TestQueryProperties:
+    @given(
+        st.lists(st.tuples(timestamps, values, tag_values), min_size=1, max_size=80)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_group_by_partitions_scanned_points(self, rows):
+        db = TSDB()
+        for ts, value, node in rows:
+            db.put("m", ts, value, {"node": node})
+        grouped = db.run(Query("m", 0, 2**41, group_by=["node"]))
+        merged = db.run(Query("m", 0, 2**41))
+        assert grouped.scanned_points == merged.scanned_points
+        # Each group's series count adds up to the total distinct series.
+        assert sum(len(s.source_series) for s in grouped) == db.series_count
+
+    @given(st.lists(st.tuples(timestamps, values), min_size=2, max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_rate_of_cumsum_is_nonnegative(self, pts):
+        """A monotone counter has a non-negative rate everywhere."""
+        db = TSDB()
+        ts_sorted = sorted({t for t, _ in pts})
+        assume(len(ts_sorted) >= 2)
+        running = 0.0
+        for i, t in enumerate(ts_sorted):
+            running += abs(pts[i % len(pts)][1])
+            db.put("counter", t, running)
+        res = db.run(Query("counter", 0, 2**41, rate=True)).single()
+        assert (res.values >= 0.0).all()

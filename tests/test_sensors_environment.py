@@ -1,0 +1,227 @@
+"""Tests for the ground-truth environment model."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.geo import GeoPoint, TRONDHEIM
+from repro.sensors import (
+    PollutionInjection,
+    RoadSegment,
+    SmoothNoise,
+    TrafficIntensity,
+    UrbanEnvironment,
+    Weather,
+)
+from repro.simclock import DAY, HOUR, from_datetime
+
+
+def ts(month=6, day=15, hour=12):
+    return from_datetime(dt.datetime(2017, month, day, hour))
+
+
+class TestSmoothNoise:
+    def test_deterministic(self):
+        n1 = SmoothNoise(seed=5, knot_spacing=3600)
+        n2 = SmoothNoise(seed=5, knot_spacing=3600)
+        assert n1(123456) == n2(123456)
+
+    def test_different_seeds_differ(self):
+        assert SmoothNoise(1, 3600)(999) != SmoothNoise(2, 3600)(999)
+
+    def test_continuity(self):
+        n = SmoothNoise(seed=3, knot_spacing=3600)
+        deltas = [abs(n(t + 10) - n(t)) for t in range(0, 7200, 100)]
+        assert max(deltas) < 0.5  # no jumps at 10 s spacing
+
+    def test_hits_knots_exactly(self):
+        n = SmoothNoise(seed=3, knot_spacing=100)
+        assert n(200) == pytest.approx(n(200))
+        # At a knot the interpolation weight is 0: value == knot value.
+        assert abs(n(200) - n(199)) < 0.2
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            SmoothNoise(1, 0)
+
+    def test_statistics_roughly_standard(self):
+        n = SmoothNoise(seed=11, knot_spacing=100, sigma=2.0)
+        vals = np.array([n(t) for t in range(0, 200_000, 100)])
+        assert abs(vals.mean()) < 0.3
+        assert 1.2 < vals.std() < 2.8
+
+
+class TestWeather:
+    def make(self):
+        return Weather(seed=1, lat=63.43, lon=10.40)
+
+    def test_summer_warmer_than_winter(self):
+        w = self.make()
+        summer = np.mean([w.temperature_c(ts(7, 15, h)) for h in range(24)])
+        winter = np.mean([w.temperature_c(ts(1, 15, h)) for h in range(24)])
+        assert summer > winter + 8.0
+
+    def test_afternoon_warmer_than_night(self):
+        w = self.make()
+        days = [ts(6, d, 14) for d in range(1, 20)]
+        nights = [ts(6, d, 3) for d in range(1, 20)]
+        assert np.mean([w.temperature_c(t) for t in days]) > np.mean(
+            [w.temperature_c(t) for t in nights]
+        )
+
+    def test_pressure_realistic_range(self):
+        w = self.make()
+        vals = [w.pressure_hpa(ts(3, d, 12)) for d in range(1, 28)]
+        assert all(960.0 < v < 1065.0 for v in vals)
+
+    def test_humidity_bounds(self):
+        w = self.make()
+        vals = [w.humidity_pct(ts(9, d, h)) for d in range(1, 28) for h in (0, 12)]
+        assert all(15.0 <= v <= 100.0 for v in vals)
+
+    def test_wind_positive(self):
+        w = self.make()
+        assert all(w.wind_speed_ms(ts(5, d, 12)) > 0 for d in range(1, 28))
+
+    def test_cloud_cover_bounds(self):
+        w = self.make()
+        vals = [w.cloud_cover(ts(4, d, 12)) for d in range(1, 28)]
+        assert all(0.0 <= v <= 1.0 for v in vals)
+
+    def test_irradiance_zero_at_winter_night(self):
+        w = self.make()
+        assert w.irradiance_wm2(ts(12, 21, 0)) == 0.0
+
+    def test_state_bundle(self):
+        state = self.make().state(ts())
+        assert state.temperature_c == self.make().temperature_c(ts())
+
+
+class TestTrafficIntensity:
+    def make(self):
+        return TrafficIntensity(seed=2)
+
+    def test_bounds(self):
+        t = self.make()
+        vals = [t(ts(6, d, h)) for d in range(1, 28) for h in range(24)]
+        assert all(0.0 <= v <= 1.0 for v in vals)
+
+    def test_weekday_rush_hours(self):
+        t = self.make()
+        # 2017-06-14 was a Wednesday.
+        rush = np.mean([t(ts(6, 14, 8)), t(ts(6, 14, 16))])
+        lull = t(ts(6, 14, 3))
+        assert rush > lull + 0.2
+
+    def test_weekend_flatter(self):
+        t = self.make()
+        # 2017-06-17/18 was a weekend.
+        weekday_peak = max(t(ts(6, 14, h)) for h in range(24))
+        weekend_peak = max(t(ts(6, 17, h)) for h in range(24))
+        assert weekend_peak < weekday_peak
+
+
+class TestRoadSegment:
+    def test_distance_to_midpoint(self):
+        a = TRONDHEIM
+        b = TRONDHEIM.destination(90.0, 1000.0)
+        seg = RoadSegment("r", a, b)
+        mid = TRONDHEIM.destination(90.0, 500.0)
+        assert seg.distance_m(mid) < 5.0
+
+    def test_distance_offset(self):
+        a = TRONDHEIM
+        b = TRONDHEIM.destination(90.0, 1000.0)
+        seg = RoadSegment("r", a, b)
+        off = TRONDHEIM.destination(90.0, 500.0).destination(0.0, 200.0)
+        assert seg.distance_m(off) == pytest.approx(200.0, rel=0.05)
+
+    def test_distance_beyond_endpoint(self):
+        a = TRONDHEIM
+        b = TRONDHEIM.destination(90.0, 1000.0)
+        seg = RoadSegment("r", a, b)
+        past = TRONDHEIM.destination(90.0, 1500.0)
+        assert seg.distance_m(past) == pytest.approx(500.0, rel=0.05)
+
+    def test_degenerate_segment(self):
+        seg = RoadSegment("pt", TRONDHEIM, TRONDHEIM)
+        p = TRONDHEIM.destination(0.0, 100.0)
+        assert seg.distance_m(p) == pytest.approx(100.0, rel=0.05)
+
+
+class TestUrbanEnvironment:
+    def make(self, roads=None):
+        return UrbanEnvironment("trondheim", TRONDHEIM, seed=7, roads=roads)
+
+    def test_deterministic_given_seed(self):
+        e1, e2 = self.make(), self.make()
+        assert e1.co2_ppm(ts(), TRONDHEIM) == e2.co2_ppm(ts(), TRONDHEIM)
+
+    def test_co2_in_plausible_range(self):
+        env = self.make()
+        vals = [
+            env.co2_ppm(ts(m, d, h), TRONDHEIM)
+            for m in (1, 6)
+            for d in (5, 15)
+            for h in range(0, 24, 3)
+        ]
+        assert all(380.0 <= v <= 560.0 for v in vals)
+
+    def test_no2_higher_near_road(self):
+        road = RoadSegment(
+            "main", TRONDHEIM, TRONDHEIM.destination(90.0, 2000.0)
+        )
+        env = self.make(roads=[road])
+        t = ts(6, 14, 8)  # weekday rush hour
+        near = TRONDHEIM.destination(90.0, 1000.0)  # on the road
+        far = near.destination(0.0, 2000.0)
+        assert env.no2_ugm3(t, near) > env.no2_ugm3(t, far)
+
+    def test_pm25_below_pm10(self):
+        env = self.make()
+        samples = [(ts(1, d, h)) for d in (3, 10) for h in (6, 12, 20)]
+        for t in samples:
+            assert env.pm25_ugm3(t, TRONDHEIM) <= env.pm10_ugm3(t, TRONDHEIM) + 12.0
+
+    def test_true_values_keys(self):
+        truth = self.make().true_values(ts(), TRONDHEIM)
+        assert set(truth) == {
+            "co2_ppm",
+            "no2_ugm3",
+            "pm10_ugm3",
+            "pm25_ugm3",
+            "temperature_c",
+            "pressure_hpa",
+            "humidity_pct",
+        }
+
+    def test_injection_raises_levels_locally(self):
+        env = self.make()
+        t0 = ts(6, 14, 12)
+        baseline = env.no2_ugm3(t0, TRONDHEIM)
+        env.inject(
+            PollutionInjection(
+                center=TRONDHEIM, start=t0 - HOUR, end=t0 + HOUR, no2_ugm3=80.0
+            )
+        )
+        assert env.no2_ugm3(t0, TRONDHEIM) == pytest.approx(baseline + 80.0, rel=0.01)
+        far = TRONDHEIM.destination(0.0, 5000.0)
+        assert env.no2_ugm3(t0, far) < env.no2_ugm3(t0, TRONDHEIM)
+
+    def test_injection_time_bounded(self):
+        env = self.make()
+        t0 = ts(6, 14, 12)
+        env.inject(
+            PollutionInjection(center=TRONDHEIM, start=t0, end=t0 + HOUR, co2_ppm=100.0)
+        )
+        before = env.co2_ppm(t0 - 10, TRONDHEIM)
+        during = env.co2_ppm(t0 + 10, TRONDHEIM)
+        assert during > before + 50.0
+
+    def test_clear_injections(self):
+        env = self.make()
+        t0 = ts()
+        env.inject(PollutionInjection(TRONDHEIM, t0 - 10, t0 + 10, co2_ppm=500.0))
+        env.clear_injections()
+        assert env.co2_ppm(t0, TRONDHEIM) < 600.0

@@ -1,0 +1,171 @@
+"""Tests for TSDB persistence (line protocol, WAL, snapshot) and retention."""
+
+import io
+
+import pytest
+
+from repro.tsdb import (
+    DataPoint,
+    Downsample,
+    LogCorruption,
+    LogWriter,
+    Query,
+    RetentionPolicy,
+    TSDB,
+    dumps,
+    format_point,
+    iter_log,
+    load,
+    parse_line,
+    snapshot,
+)
+
+
+def make_point(metric="m", ts=100, val=1.5, tags=None):
+    return DataPoint.make(metric, ts, val, tags or {"node": "a"})
+
+
+class TestLineProtocol:
+    def test_format_and_parse_round_trip(self):
+        p = make_point(val=3.14159, tags={"node": "ctt-01", "city": "vejle"})
+        line = format_point(p)
+        parsed = parse_line(line)
+        assert parsed == p
+
+    def test_format_without_tags(self):
+        p = DataPoint.make("m", 1, 2.0)
+        assert format_point(p) == "m 1 2.0"
+
+    def test_parse_skips_blank_and_comments(self):
+        assert parse_line("") is None
+        assert parse_line("   ") is None
+        assert parse_line("# a comment") is None
+
+    def test_parse_errors(self):
+        for bad in ("m", "m 1", "m xx 1.0", "m 1 abc", "m 1 2.0 notag"):
+            with pytest.raises(LogCorruption):
+                parse_line(bad, lineno=7)
+
+    def test_corruption_carries_lineno(self):
+        with pytest.raises(LogCorruption) as exc:
+            parse_line("garbage", lineno=42)
+        assert exc.value.lineno == 42
+
+    def test_float_precision_survives(self):
+        p = DataPoint.make("m", 1, 0.1 + 0.2)
+        assert parse_line(format_point(p)).value == p.value
+
+
+class TestLogWriterAndLoad:
+    def test_wal_round_trip(self, tmp_path):
+        path = tmp_path / "wal.log"
+        points = [make_point(ts=i, val=float(i)) for i in range(50)]
+        with LogWriter(path) as writer:
+            writer.comment("header")
+            n = writer.write_many(points)
+        assert n == 50
+        db = load(path)
+        assert db.point_count == 50
+
+    def test_append_mode(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with LogWriter(path) as w:
+            w.write(make_point(ts=1))
+        with LogWriter(path) as w:
+            w.write(make_point(ts=2))
+        assert load(path).point_count == 2
+
+    def test_load_strict_raises_on_corruption(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_text("m 1 2.0\nGARBAGE LINE\nm 3 4.0\n")
+        with pytest.raises(LogCorruption):
+            load(path)
+
+    def test_load_lenient_skips_corruption(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_text("m 1 2.0\nGARBAGE LINE\nm 3 4.0\n")
+        db = load(path, strict=False)
+        assert db.point_count == 2
+
+    def test_truncated_tail_recovery(self, tmp_path):
+        """Simulates an unclean shutdown cutting the last line short."""
+        path = tmp_path / "wal.log"
+        path.write_text("m 1 2.0\nm 2 3.0\nm 3 4")  # last line has no value sep
+        db = load(path, strict=False)
+        assert db.point_count == 3  # "m 3 4" actually parses: value=4
+        path.write_text("m 1 2.0\nm 2 3.0\nm 3")  # truly truncated
+        db = load(path, strict=False)
+        assert db.point_count == 2
+
+    def test_iter_log_from_handle(self):
+        buf = io.StringIO("m 1 2.0\nm 2 3.0\n")
+        points = list(iter_log(buf))
+        assert [p.timestamp for p in points] == [1, 2]
+
+
+class TestSnapshot:
+    def test_snapshot_round_trip(self, tmp_path):
+        db = TSDB()
+        for i in range(20):
+            db.put("a.b", i, float(i), {"n": "x"})
+            db.put("c.d", i, float(-i))
+        path = tmp_path / "snap.log"
+        n = snapshot(db, path)
+        assert n == 40
+        restored = load(path)
+        assert restored.point_count == 40
+        assert restored.metrics() == ["a.b", "c.d"]
+
+    def test_snapshot_compacts_duplicates(self, tmp_path):
+        db = TSDB()
+        db.put("m", 1, 1.0)
+        db.put("m", 1, 2.0)  # overwrite
+        path = tmp_path / "snap.log"
+        assert snapshot(db, path) == 1
+        assert load(path).run(Query("m", 0, 10)).single().values.tolist() == [2.0]
+
+    def test_dumps_round_trip(self):
+        db = TSDB()
+        db.put("m", 1, 1.0, {"a": "b"})
+        text = dumps(db)
+        restored = load(io.StringIO(text))
+        assert restored.point_count == 1
+
+
+class TestRetention:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetentionPolicy(raw_max_age=0)
+
+    def test_enforce_drops_old_points(self):
+        db = TSDB()
+        for t in range(0, 1000, 100):
+            db.put("m", t, float(t))
+        policy = RetentionPolicy(raw_max_age=500)
+        result = policy.enforce(db, now=1000)
+        assert result.cutoff == 500
+        assert result.dropped_points == 5
+        remaining = db.run(Query("m", 0, 1000)).single()
+        assert remaining.timestamps.min() == 500
+
+    def test_enforce_with_rollup(self):
+        db = TSDB()
+        for t in range(0, 7200, 300):
+            db.put("m", t, 10.0, {"n": "x"})
+        policy = RetentionPolicy(
+            raw_max_age=3600, rollup=Downsample.parse("1h-avg")
+        )
+        result = policy.enforce(db, now=7200)
+        assert result.rolled_points > 0
+        rolled = db.run(Query("m.rollup", 0, 7200, tags={"n": "x"}))
+        assert not rolled.is_empty()
+        assert rolled.single().values[0] == 10.0
+
+    def test_rollup_series_never_rerolled(self):
+        db = TSDB()
+        for t in range(0, 7200, 300):
+            db.put("m", t, 10.0)
+        policy = RetentionPolicy(raw_max_age=1800, rollup=Downsample.parse("1h-avg"))
+        policy.enforce(db, now=7200)
+        policy.enforce(db, now=7200)
+        assert "m.rollup.rollup" not in db.metrics()

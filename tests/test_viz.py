@@ -1,0 +1,292 @@
+"""Tests for rendering primitives, charts, maps, dashboards, city view."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.geo import GeoPoint, VEJLE
+from repro.integration import generate_city_model
+from repro.tsdb import Query, TSDB
+from repro.viz import (
+    AqiPanel,
+    Chart,
+    Dashboard,
+    GaugePanel,
+    SvgDocument,
+    TextCanvas,
+    TextPanel,
+    TimeseriesPanel,
+    attach_sensor_values,
+    city_model_geojson,
+    horizontal_bar,
+    render_city_svg,
+    render_svg_map,
+    render_text_map,
+    siting_suggestions,
+    sparkline,
+    to_geojson,
+    value_color,
+)
+
+
+class TestPrimitives:
+    def test_sparkline_shape(self):
+        s = sparkline(np.array([0.0, 1.0, 2.0, 3.0]))
+        assert len(s) == 4
+        assert s[0] == "▁"
+        assert s[-1] == "█"
+
+    def test_sparkline_nan_blank(self):
+        s = sparkline(np.array([1.0, np.nan, 2.0]))
+        assert s[1] == " "
+
+    def test_sparkline_resample(self):
+        assert len(sparkline(np.arange(100.0), width=10)) == 10
+
+    def test_sparkline_empty(self):
+        assert sparkline(np.array([])) == ""
+
+    def test_sparkline_constant(self):
+        s = sparkline(np.array([5.0, 5.0]))
+        assert len(set(s)) == 1
+
+    def test_horizontal_bar(self):
+        assert horizontal_bar(5.0, 10.0, width=10) == "[#####.....]"
+        assert horizontal_bar(20.0, 10.0, width=4) == "[####]"
+        assert horizontal_bar(1.0, 0.0, width=4) == "[....]"
+
+    def test_canvas_clipping(self):
+        c = TextCanvas(5, 3)
+        c.set(100, 100, "x")  # silently clipped
+        c.text(3, 1, "abcdef")
+        out = c.render()
+        assert "ab" in out
+
+    def test_canvas_validation(self):
+        with pytest.raises(ValueError):
+            TextCanvas(0, 5)
+
+    def test_canvas_frame_and_line(self):
+        c = TextCanvas(12, 6)
+        c.frame("t")
+        c.line(2, 2, 9, 4)
+        out = c.render()
+        assert out.splitlines()[0].startswith("+")
+        assert "·" in out
+
+    def test_value_color_ramp(self):
+        assert value_color(0.0, 0.0, 1.0) == "#2ecc71"
+        assert value_color(1.0, 0.0, 1.0) == "#e74c3c"
+        assert value_color(float("nan"), 0.0, 1.0) == "#999999"
+
+    def test_svg_document(self):
+        svg = SvgDocument(100, 50)
+        svg.circle(10, 10, 3, title="a<b")
+        svg.polyline([(0, 0), (10, 10)])
+        svg.text(5, 5, 'say "hi"')
+        out = svg.render()
+        assert out.startswith("<svg")
+        assert "a&lt;b" in out
+        assert "&quot;hi&quot;" in out
+
+
+class TestChart:
+    def test_text_render_contains_extremes(self):
+        chart = Chart("co2")
+        chart.add("a", np.arange(10) * 60, np.linspace(400.0, 420.0, 10))
+        text = chart.render_text()
+        assert "420.0" in text
+        assert "400.0" in text
+        assert "co2" in text
+
+    def test_empty_chart(self):
+        text = Chart("empty").render_text()
+        assert "(no data)" in text
+
+    def test_misaligned_series(self):
+        with pytest.raises(ValueError):
+            Chart("x").add("a", np.arange(3), np.arange(4.0))
+
+    def test_svg_render(self):
+        chart = Chart("co2")
+        chart.add("a", np.arange(10) * 60, np.linspace(400.0, 420.0, 10))
+        svg = chart.render_svg()
+        assert "<polyline" in svg
+
+    def test_multi_series_legend(self):
+        chart = Chart("multi")
+        chart.add("alpha", np.arange(5), np.arange(5.0))
+        chart.add("beta", np.arange(5), np.arange(5.0) * 2)
+        text = chart.render_text()
+        assert "alpha" in text and "beta" in text
+
+
+def make_snapshot():
+    base = VEJLE
+    return {
+        "sensors": {
+            "s1": {
+                "location": (base.lat, base.lon),
+                "gateways": ["g1"],
+                "rssi_dbm": -95.0,
+                "battery_v": 3.9,
+                "uplinks": 10,
+                "overdue": False,
+            },
+            "s2": {
+                "location": (base.lat + 0.01, base.lon + 0.01),
+                "gateways": ["g1"],
+                "rssi_dbm": -110.0,
+                "battery_v": 3.4,
+                "uplinks": 4,
+                "overdue": True,
+            },
+        },
+        "gateways": {
+            "g1": {"location": (base.lat + 0.005, base.lon), "frames": 14,
+                   "silent": False}
+        },
+        "overdue_sensors": ["s2"],
+        "silent_gateways": [],
+        "active_alarms": [],
+    }
+
+
+class TestNetworkMap:
+    def test_text_map_markers(self):
+        text = render_text_map(make_snapshot())
+        assert "S" in text  # healthy sensor
+        assert "!" in text  # overdue sensor
+        assert "G" in text  # gateway
+        assert "overdue=1" in text
+
+    def test_text_map_empty(self):
+        text = render_text_map({"sensors": {}, "gateways": {}})
+        assert "no devices" in text
+
+    def test_svg_map(self):
+        svg = render_svg_map(make_snapshot())
+        assert "<circle" in svg
+        assert "<rect" in svg
+        assert "<line" in svg
+
+    def test_geojson_features(self):
+        geo = to_geojson(make_snapshot())
+        kinds = [f["properties"]["kind"] for f in geo["features"]]
+        assert kinds.count("sensor") == 2
+        assert kinds.count("gateway") == 1
+        assert kinds.count("link") == 2
+        json.dumps(geo)  # serializable
+
+
+@pytest.fixture
+def db_with_data():
+    db = TSDB()
+    for i in range(24):
+        ts = i * 3600
+        for node in ("n1", "n2"):
+            tags = {"node": node, "city": "vejle"}
+            db.put("air.co2.ppm", ts, 400.0 + i + (5 if node == "n2" else 0), tags)
+            db.put("air.no2.ugm3", ts, 30.0 + i, tags)
+            db.put("air.pm10.ugm3", ts, 20.0, tags)
+            db.put("air.pm25.ugm3", ts, 10.0, tags)
+            db.put("node.battery.v", ts, 3.9, tags)
+    return db
+
+
+class TestDashboard:
+    def test_timeseries_panel(self, db_with_data):
+        panel = TimeseriesPanel(
+            "co2", Query("air.co2.ppm", 0, 23 * 3600, downsample="1h-avg")
+        )
+        text = panel.render_text(db_with_data)
+        assert "co2" in text
+
+    def test_gauge_panel(self, db_with_data):
+        panel = GaugePanel("battery", "node.battery.v", vmax=4.2, unit="V")
+        text = panel.render_text(db_with_data)
+        assert "n1" in text and "n2" in text
+        assert "3.9" in text
+
+    def test_gauge_panel_empty(self):
+        panel = GaugePanel("x", "missing.metric")
+        assert "(no data)" in panel.render_text(TSDB())
+
+    def test_aqi_panel(self, db_with_data):
+        panel = AqiPanel("aqi", city="vejle")
+        tiles = panel.compute(db_with_data)
+        assert set(tiles) == {"n1", "n2"}
+        assert tiles["n1"]["dominant"] == "no2_ugm3"
+        text = panel.render_text(db_with_data)
+        assert "CAQI" in text
+
+    def test_text_panel(self, db_with_data):
+        panel = TextPanel("stats", lambda db: f"metrics={len(db.metrics())}")
+        assert "metrics=5" in panel.render_text(db_with_data)
+
+    def test_dashboard_text_and_html(self, db_with_data):
+        dash = (
+            Dashboard("Air quality", db_with_data)
+            .add(AqiPanel("aqi", city="vejle"))
+            .add(GaugePanel("battery", "node.battery.v", vmax=4.2))
+        )
+        text = dash.render_text()
+        assert "### Air quality ###" in text
+        html = dash.render_html()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Air quality" in html
+
+
+class TestCityView:
+    def model(self):
+        return generate_city_model("vejle", VEJLE, seed=3, blocks=4,
+                                   buildings_per_block=3)
+
+    def sensors(self):
+        return {
+            "s1": (VEJLE, 55.0),
+            "s2": (VEJLE.destination(90.0, 300.0), 20.0),
+        }
+
+    def test_attach_sensor_values_idw(self):
+        levels = attach_sensor_values(self.model(), self.sensors())
+        finite = [v for v in levels.values() if math.isfinite(v)]
+        assert finite
+        assert all(15.0 <= v <= 60.0 for v in finite)
+
+    def test_attach_no_sensors_all_nan(self):
+        levels = attach_sensor_values(self.model(), {})
+        assert all(math.isnan(v) for v in levels.values())
+
+    def test_render_city_svg(self):
+        svg = render_city_svg(self.model(), self.sensors())
+        assert "<polygon" in svg
+        assert "<circle" in svg
+        assert "s1" in svg
+
+    def test_city_geojson(self):
+        geo = city_model_geojson(self.model(), self.sensors())
+        kinds = {f["properties"]["kind"] for f in geo["features"]}
+        assert kinds == {"building", "sensor"}
+        buildings = [
+            f for f in geo["features"] if f["properties"]["kind"] == "building"
+        ]
+        assert all("height_m" in f["properties"] for f in buildings)
+        json.dumps(geo)
+
+    def test_siting_suggestions(self):
+        model = self.model()
+        existing = [VEJLE]
+        sites = siting_suggestions(model, existing, n=2, min_separation_m=300.0)
+        assert len(sites) == 2
+        for site in sites:
+            assert site.distance_to(VEJLE) >= 300.0
+        assert sites[0].distance_to(sites[1]) >= 300.0
+
+    def test_siting_respects_exhaustion(self):
+        model = generate_city_model("tiny", VEJLE, seed=3, blocks=1,
+                                    buildings_per_block=1)
+        sites = siting_suggestions(model, [VEJLE], n=5, min_separation_m=10_000.0)
+        assert sites == []
