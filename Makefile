@@ -1,0 +1,13 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench lint
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest -q benchmarks/test_ingest_throughput.py -s
+
+lint:
+	$(PYTHON) -m ruff check src/

@@ -45,7 +45,6 @@ from ..viz import (
     TimeseriesPanel,
     WallDisplay,
     render_city_svg,
-    render_text_map,
 )
 from .ecosystem import CityEcosystem
 
@@ -74,20 +73,30 @@ def backfill_history(
         raise ValueError("end must be after start")
     written = 0
     tags_base = {"city": city.deployment.city}
+    timestamps = np.arange(start, end, cadence_s, dtype=np.int64)
     for node_id, node in city.nodes.items():
         tags = {**tags_base, "node": node_id}
-        for ts in range(start, end, cadence_s):
+        # The channel models run per instant (sensor state is stateful),
+        # but the TSDB sees one columnar write per metric per node.
+        columns = {attr: np.empty(timestamps.shape[0]) for attr in _CHANNEL_METRICS}
+        for i, ts in enumerate(timestamps.tolist()):
             readings = node.read_channels(ts)
-            for attr, metric in _CHANNEL_METRICS.items():
-                city.db.put(metric, ts, readings[attr], tags)
-                written += 1
+            for attr in _CHANNEL_METRICS:
+                columns[attr][i] = readings[attr]
+        for attr, metric in _CHANNEL_METRICS.items():
+            city.db.put_series(metric, timestamps, columns[attr], tags)
+            written += timestamps.shape[0]
     # Traffic feed history at the same cadence.
-    for ts in range(start, end, cadence_s):
-        jam = city.here.jam_factor(ts, city.here.segments[0])
-        city.db.put(
-            METRIC_JAM_FACTOR, ts, jam, {**tags_base, "segment": "main"}
-        )
-        written += 1
+    jam = np.array(
+        [
+            city.here.jam_factor(ts, city.here.segments[0])
+            for ts in timestamps.tolist()
+        ]
+    )
+    city.db.put_series(
+        METRIC_JAM_FACTOR, timestamps, jam, {**tags_base, "segment": "main"}
+    )
+    written += timestamps.shape[0]
     return written
 
 

@@ -10,7 +10,14 @@ from .actors import (
     Terminated,
 )
 from .alarms import Alarm, AlarmKind, AlarmLog, Severity
-from .app import Dataport, DataportStats, TtnMqttBridge, UPLINK_FILTER, UPLINK_TOPIC_FMT
+from .app import (
+    BatchingTsdbWriter,
+    Dataport,
+    DataportStats,
+    TtnMqttBridge,
+    UPLINK_FILTER,
+    UPLINK_TOPIC_FMT,
+)
 from .twins import (
     BackendTwin,
     FleetSupervisor,
@@ -35,6 +42,7 @@ __all__ = [
     "AlarmKind",
     "AlarmLog",
     "BackendTwin",
+    "BatchingTsdbWriter",
     "Dataport",
     "DataportStats",
     "DeadLetter",

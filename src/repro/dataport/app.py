@@ -18,7 +18,7 @@ HTTP box in the figure) via plain methods returning JSON-able dicts.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..lorawan import (
     NetworkServer,
@@ -39,6 +39,7 @@ from ..tsdb import (
     METRIC_PRESSURE,
     METRIC_TEMPERATURE,
     TSDB,
+    BatchBuilder,
 )
 from .actors import ActorSystem
 from .alarms import AlarmLog, Severity
@@ -60,6 +61,51 @@ class DataportStats:
     uplinks_processed: int = 0
     decode_errors: int = 0
     points_written: int = 0
+    batch_flushes: int = 0
+
+
+class BatchingTsdbWriter:
+    """Hop 5 writer: accumulates decoded measurements, flushes columnar.
+
+    Points buffer in a :class:`~repro.tsdb.BatchBuilder` (series keys
+    interned once per series, values in growable columns) and reach the
+    database as one :meth:`~repro.tsdb.TSDB.put_batch` per flush —
+    either when the dataport's scheduler tick fires, or when the buffer
+    hits ``max_pending`` under burst load.
+    """
+
+    def __init__(
+        self, db: TSDB, *, max_pending: int = 10_000, on_flush=None
+    ) -> None:
+        if max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        self.db = db
+        self.max_pending = max_pending
+        self._builder = BatchBuilder()
+        self._on_flush = on_flush
+        self.flushes = 0
+        self.written = 0
+
+    @property
+    def pending(self) -> int:
+        """Points buffered but not yet visible in the database."""
+        return len(self._builder)
+
+    def add(self, metric: str, timestamp: int, value: float, tags) -> None:
+        self._builder.add(metric, timestamp, value, tags)
+        if len(self._builder) >= self.max_pending:
+            self.flush()
+
+    def flush(self) -> int:
+        """Write all buffered points as one batch; returns points written."""
+        if not len(self._builder):
+            return 0
+        n = self.db.put_batch(self._builder.build())
+        self.flushes += 1
+        self.written += n
+        if self._on_flush is not None:
+            self._on_flush(n)
+        return n
 
 
 class TtnMqttBridge:
@@ -104,6 +150,8 @@ class Dataport:
         config: TwinConfig | None = None,
         node_locations: dict[str, tuple[float, float]] | None = None,
         node_city: dict[str, str] | None = None,
+        batch_window_s: int = 0,
+        max_pending_points: int = 10_000,
     ) -> None:
         self.db = db
         self.config = config or TwinConfig()
@@ -113,6 +161,20 @@ class Dataport:
         self.healthy = True  # flipped by failure-injection tests
         self.node_locations = dict(node_locations or {})
         self.node_city = dict(node_city or {})
+        # Hop 5 write path: with batch_window_s == 0 every uplink flushes
+        # its (columnar) batch immediately, so points are visible to
+        # queries as soon as the uplink is processed; with a positive
+        # window, uplinks accumulate and flush once per scheduler tick.
+        self.writer = BatchingTsdbWriter(
+            db, max_pending=max_pending_points, on_flush=self._record_flush
+        )
+        self.batch_window_s = int(batch_window_s)
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+        if self.batch_window_s > 0:
+            scheduler.call_every(
+                self.batch_window_s, lambda now: self.flush_writes()
+            )
 
         self._supervisor_ref = self.system.spawn(
             lambda: FleetSupervisor(self.config, self.alarms), "fleet"
@@ -188,14 +250,22 @@ class Dataport:
             BackendTwin.Heartbeat("mqtt", received.received_at)
         )
 
-        # Hop 5: persist to the time-series database.
+        # Hop 5: buffer for the columnar TSDB write path.
         tags = {"node": node_id, "city": city}
         ts = received.received_at
         for attr, metric in self.METRIC_MAP.items():
-            self.db.put(metric, ts, getattr(measurements, attr), tags)
-            self.stats.points_written += 1
-        self.db.put(METRIC_BATTERY, ts, measurements.battery_v, tags)
-        self.stats.points_written += 1
+            self.writer.add(metric, ts, getattr(measurements, attr), tags)
+        self.writer.add(METRIC_BATTERY, ts, measurements.battery_v, tags)
+        if self.batch_window_s == 0:
+            self.flush_writes()
+
+    def _record_flush(self, n: int) -> None:
+        self.stats.points_written += n
+        self.stats.batch_flushes += 1
+
+    def flush_writes(self) -> int:
+        """Flush buffered points to the TSDB; returns points written."""
+        return self.writer.flush()
 
     # -- hop 8: watchdog ping target -----------------------------------------
     def ping(self) -> bool:
@@ -256,6 +326,8 @@ class Dataport:
             "uplinks_processed": self.stats.uplinks_processed,
             "decode_errors": self.stats.decode_errors,
             "points_written": self.stats.points_written,
+            "points_pending": self.writer.pending,
+            "batch_flushes": self.stats.batch_flushes,
             "critical_alarms": len(
                 self.alarms.active(min_severity=Severity.CRITICAL)
             ),

@@ -22,6 +22,7 @@ from .frames import (
     ReceivedUplink,
     Uplink,
     decode_measurements,
+    decode_measurements_batch,
     encode_measurements,
 )
 from .gateway import Gateway, RadioPlane
@@ -67,6 +68,7 @@ __all__ = [
     "best_sf_for_distance",
     "bitrate_bps",
     "decode_measurements",
+    "decode_measurements_batch",
     "encode_measurements",
     "symbol_time_s",
     "uplink_from_json",

@@ -2,7 +2,9 @@
 
 from .graph import FlowGraph, FlowGraphError
 from .operators import (
+    BatchSink,
     Event,
+    EventBatch,
     Filter,
     Map,
     Operator,
@@ -14,7 +16,9 @@ from .operators import (
 )
 
 __all__ = [
+    "BatchSink",
     "Event",
+    "EventBatch",
     "Filter",
     "FlowGraph",
     "FlowGraphError",

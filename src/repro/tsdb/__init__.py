@@ -9,6 +9,7 @@ data up into coarser series.
 """
 
 from . import aggregators
+from .batch import BatchBuilder, PointBatch, run_boundaries
 from .database import TSDB
 from .downsample import Downsample, FillPolicy, InvalidDownsampleSpec
 from .model import (
@@ -46,6 +47,7 @@ from .series import SeriesSlice, SeriesStore, merge_slices
 __all__ = [
     "ALL_AIR_METRICS",
     "ALL_WEATHER_METRICS",
+    "BatchBuilder",
     "DataPoint",
     "Downsample",
     "FillPolicy",
@@ -63,6 +65,7 @@ __all__ = [
     "METRIC_PRESSURE",
     "METRIC_TEMPERATURE",
     "METRIC_TRAFFIC_COUNT",
+    "PointBatch",
     "Query",
     "QueryError",
     "QueryResult",
@@ -81,6 +84,7 @@ __all__ = [
     "load",
     "merge_slices",
     "parse_line",
+    "run_boundaries",
     "snapshot",
     "validate_name",
 ]

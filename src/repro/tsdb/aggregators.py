@@ -7,8 +7,20 @@ Aggregators serve two roles, mirroring OpenTSDB:
 - *downsampling* aggregation: collapsing all raw points inside one time
   bucket to a single value.
 
-All functions take a 1-D float array and return a float; NaNs are
-ignored (a bucket of all-NaN yields NaN).
+All scalar functions take a 1-D float array and return a float; NaNs
+are ignored (a bucket of all-NaN yields NaN).
+
+Each scalar aggregator also has two vectorized forms that the query
+engine prefers on the hot path:
+
+- *columnar* (:func:`get_columnar`): takes a ``(n_series, n_instants)``
+  matrix and reduces down the columns in one numpy pass — this is what
+  replaced the per-timestamp Python loop in cross-series aggregation;
+- *grouped* (:func:`grouped`): takes a value column plus ``reduceat``
+  segment starts and reduces every segment at once — downsampling's
+  per-bucket loop, vectorized.  Segments must be non-empty (NaNs inside
+  them are fine); order-statistic aggregators (median, percentiles)
+  return None and callers fall back to the scalar loop.
 """
 
 from __future__ import annotations
@@ -18,6 +30,10 @@ from typing import Callable
 import numpy as np
 
 Aggregator = Callable[[np.ndarray], float]
+#: (n_series, n_instants) matrix -> per-instant 1-D result.
+ColumnarAggregator = Callable[[np.ndarray], np.ndarray]
+#: (values, segment_starts) -> per-segment 1-D result.
+GroupedAggregator = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
 def _nan_safe(fn: Callable[[np.ndarray], np.floating], empty: float = np.nan):
@@ -91,3 +107,221 @@ def get(name: str) -> Aggregator:
 
 def names() -> list[str]:
     return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Columnar forms: reduce a (n_series, n_instants) matrix down the columns.
+# ---------------------------------------------------------------------------
+
+
+def _mask_empty(out: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    out = np.asarray(out, dtype=np.float64)
+    empty = np.all(np.isnan(matrix), axis=0)
+    if empty.any():
+        out[empty] = np.nan
+    return out
+
+
+def _col_sum(matrix: np.ndarray) -> np.ndarray:
+    return _mask_empty(np.where(np.isnan(matrix), 0.0, matrix).sum(axis=0), matrix)
+
+
+def _col_avg(matrix: np.ndarray) -> np.ndarray:
+    finite = ~np.isnan(matrix)
+    counts = finite.sum(axis=0)
+    sums = np.where(finite, matrix, 0.0).sum(axis=0)
+    out = np.divide(sums, counts, out=np.full(counts.shape, np.nan), where=counts > 0)
+    return out
+
+
+def _col_min(matrix: np.ndarray) -> np.ndarray:
+    return _mask_empty(np.where(np.isnan(matrix), np.inf, matrix).min(axis=0), matrix)
+
+
+def _col_max(matrix: np.ndarray) -> np.ndarray:
+    return _mask_empty(np.where(np.isnan(matrix), -np.inf, matrix).max(axis=0), matrix)
+
+
+def _col_dev(matrix: np.ndarray) -> np.ndarray:
+    # Two-pass (center first): the E[x²]-E[x]² shortcut cancels
+    # catastrophically for large-offset values (epoch-like series).
+    finite = ~np.isnan(matrix)
+    counts = finite.sum(axis=0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mean = np.where(finite, matrix, 0.0).sum(axis=0) / counts
+        centered = np.where(finite, matrix - mean, 0.0)
+        var = (centered * centered).sum(axis=0) / counts
+    out = np.sqrt(var)
+    out[counts == 0] = np.nan
+    return out
+
+
+def _col_count(matrix: np.ndarray) -> np.ndarray:
+    return (~np.isnan(matrix)).sum(axis=0).astype(np.float64)
+
+
+def _col_first(matrix: np.ndarray) -> np.ndarray:
+    finite = ~np.isnan(matrix)
+    idx = np.argmax(finite, axis=0)
+    out = matrix[idx, np.arange(matrix.shape[1])]
+    return _mask_empty(out, matrix)
+
+
+def _col_last(matrix: np.ndarray) -> np.ndarray:
+    finite = ~np.isnan(matrix)
+    idx = matrix.shape[0] - 1 - np.argmax(finite[::-1], axis=0)
+    out = matrix[idx, np.arange(matrix.shape[1])]
+    return _mask_empty(out, matrix)
+
+
+def _col_median(matrix: np.ndarray) -> np.ndarray:
+    if np.isnan(matrix).any():
+        with np.errstate(invalid="ignore"):
+            return np.asarray(_nanquiet(np.nanmedian, matrix), dtype=np.float64)
+    return np.median(matrix, axis=0)
+
+
+def _col_percentile(q: float) -> ColumnarAggregator:
+    def columnar(matrix: np.ndarray) -> np.ndarray:
+        if np.isnan(matrix).any():
+            return np.asarray(
+                _nanquiet(np.nanpercentile, matrix, q), dtype=np.float64
+            )
+        return np.percentile(matrix, q, axis=0)
+
+    return columnar
+
+
+def _nanquiet(fn, matrix: np.ndarray, *args) -> np.ndarray:
+    """Run a nan-reduction silencing the all-NaN-slice RuntimeWarning."""
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return fn(matrix, *args, axis=0)
+
+
+_COLUMNAR: dict[str, ColumnarAggregator] = {
+    "avg": _col_avg,
+    "mean": _col_avg,
+    "sum": _col_sum,
+    "min": _col_min,
+    "max": _col_max,
+    "median": _col_median,
+    "dev": _col_dev,
+    "std": _col_dev,
+    "count": _col_count,
+    "first": _col_first,
+    "last": _col_last,
+    "p50": _col_percentile(50.0),
+    "p90": _col_percentile(90.0),
+    "p95": _col_percentile(95.0),
+    "p99": _col_percentile(99.0),
+}
+
+
+def get_columnar(name: str) -> ColumnarAggregator:
+    """Columnar form of a registered aggregator (always available)."""
+    get(name)  # raise UnknownAggregator consistently
+    return _COLUMNAR[name]
+
+
+# ---------------------------------------------------------------------------
+# Grouped forms: reduce contiguous segments of a value column at once.
+# Segments are given by their start offsets (np.reduceat convention) and
+# must be non-empty; NaNs within a segment are ignored.
+# ---------------------------------------------------------------------------
+
+
+def _seg_counts(finite: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    return np.add.reduceat(finite.astype(np.float64), starts)
+
+
+def _grp_sum(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    finite = ~np.isnan(values)
+    sums = np.add.reduceat(np.where(finite, values, 0.0), starts)
+    sums[_seg_counts(finite, starts) == 0] = np.nan
+    return sums
+
+
+def _grp_avg(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    finite = ~np.isnan(values)
+    counts = _seg_counts(finite, starts)
+    sums = np.add.reduceat(np.where(finite, values, 0.0), starts)
+    return np.divide(sums, counts, out=np.full(counts.shape, np.nan), where=counts > 0)
+
+
+def _grp_min(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    finite = ~np.isnan(values)
+    out = np.minimum.reduceat(np.where(finite, values, np.inf), starts)
+    out[_seg_counts(finite, starts) == 0] = np.nan
+    return out
+
+
+def _grp_max(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    finite = ~np.isnan(values)
+    out = np.maximum.reduceat(np.where(finite, values, -np.inf), starts)
+    out[_seg_counts(finite, starts) == 0] = np.nan
+    return out
+
+
+def _grp_dev(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    # Two-pass like _col_dev: center each segment on its own mean
+    # before squaring to avoid catastrophic cancellation.
+    finite = ~np.isnan(values)
+    counts = _seg_counts(finite, starts)
+    sums = np.add.reduceat(np.where(finite, values, 0.0), starts)
+    lengths = np.diff(np.concatenate([starts, [values.shape[0]]]))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mean = sums / counts
+        centered = np.where(finite, values - np.repeat(mean, lengths), 0.0)
+        var = np.add.reduceat(centered * centered, starts) / counts
+    out = np.sqrt(var)
+    out[counts == 0] = np.nan
+    return out
+
+
+def _grp_count(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    return _seg_counts(~np.isnan(values), starts)
+
+
+def _grp_first(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    n = values.shape[0]
+    finite = ~np.isnan(values)
+    # Index of the first finite row per segment (n = "no finite row").
+    cand = np.where(finite, np.arange(n), n)
+    firsts = np.minimum.reduceat(cand, starts)
+    out = values[np.minimum(firsts, n - 1)].astype(np.float64)
+    out[firsts == n] = np.nan
+    return out
+
+
+def _grp_last(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    finite = ~np.isnan(values)
+    cand = np.where(finite, np.arange(values.shape[0]), -1)
+    lasts = np.maximum.reduceat(cand, starts)
+    out = values[np.maximum(lasts, 0)].astype(np.float64)
+    out[lasts < 0] = np.nan
+    return out
+
+
+_GROUPED: dict[str, GroupedAggregator] = {
+    "avg": _grp_avg,
+    "mean": _grp_avg,
+    "sum": _grp_sum,
+    "min": _grp_min,
+    "max": _grp_max,
+    "dev": _grp_dev,
+    "std": _grp_dev,
+    "count": _grp_count,
+    "first": _grp_first,
+    "last": _grp_last,
+    # median / percentiles are order statistics; no reduceat form.
+}
+
+
+def grouped(name: str) -> GroupedAggregator | None:
+    """Reduceat form of an aggregator, or None when only the scalar
+    per-segment loop can compute it (median, percentiles)."""
+    get(name)
+    return _GROUPED.get(name)

@@ -14,6 +14,7 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from . import aggregators
+from .batch import BatchBuilder, PointBatch
 from .downsample import apply as apply_downsample
 from .model import DataPoint, SeriesKey, validate_name
 from .query import Query, QueryResult, ResultSeries, compute_rate
@@ -26,6 +27,9 @@ class TSDB:
     The public surface is deliberately OpenTSDB-shaped:
 
     - :meth:`put` writes one point (out-of-order tolerated),
+    - :meth:`put_batch` / :meth:`put_series` move whole columnar batches
+      (the hot ingest path; :meth:`put` is the degenerate single-point
+      case of the same store machinery),
     - :meth:`run` executes a :class:`Query`,
     - :meth:`suggest_metrics` / :meth:`suggest_tag_values` back dashboard
       autocomplete,
@@ -43,6 +47,17 @@ class TSDB:
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
+    def _store_for(self, key: SeriesKey) -> SeriesStore:
+        """Store for a series, creating it (and indexing it) on first sight."""
+        store = self._stores.get(key)
+        if store is None:
+            store = SeriesStore()
+            self._stores[key] = store
+            self._by_metric[key.metric].add(key)
+            for pair in key.tags:
+                self._by_tag[pair].add(key)
+        return store
+
     def put(
         self,
         metric: str,
@@ -52,26 +67,51 @@ class TSDB:
     ) -> SeriesKey:
         """Write one data point, creating the series on first sight."""
         key = SeriesKey.make(metric, tags)
-        store = self._stores.get(key)
-        if store is None:
-            store = SeriesStore()
-            self._stores[key] = store
-            self._by_metric[key.metric].add(key)
-            for pair in key.tags:
-                self._by_tag[pair].add(key)
-        store.append(timestamp, value)
+        self._store_for(key).append(timestamp, value)
         self._puts += 1
         return key
 
     def put_point(self, point: DataPoint) -> SeriesKey:
-        return self.put(point.key.metric, point.timestamp, point.value, point.key.tag_dict())
+        self._store_for(point.key).append(point.timestamp, point.value)
+        self._puts += 1
+        return point.key
+
+    def put_batch(self, batch: PointBatch) -> int:
+        """Write a columnar batch: group by series key, one sorted merge
+        per touched series, index maintenance once per new series.
+
+        Equivalent to ``put`` called per row (same out-of-order tolerance
+        and last-write-wins dedup); returns points written.
+        """
+        for key, ts, vals in batch.by_series():
+            self._store_for(key).extend_batch(ts, vals)
+        self._puts += len(batch)
+        return len(batch)
+
+    def put_series(
+        self,
+        metric: str,
+        timestamps,
+        values,
+        tags: Mapping[str, str] | None = None,
+    ) -> SeriesKey:
+        """Bulk-write parallel timestamp/value columns into one series."""
+        batch = PointBatch.for_series(metric, timestamps, values, tags)
+        self.put_batch(batch)
+        return batch.keys[0]
+
+    #: put_many flushes its builder at this size so streaming a huge
+    #: iterable stays bounded-memory while keeping batch overhead tiny.
+    _PUT_MANY_CHUNK = 65_536
 
     def put_many(self, points: Iterable[DataPoint]) -> int:
+        builder = BatchBuilder()
         n = 0
         for p in points:
-            self.put_point(p)
-            n += 1
-        return n
+            builder.add_point(p)
+            if len(builder) >= self._PUT_MANY_CHUNK:
+                n += self.put_batch(builder.build())
+        return n + self.put_batch(builder.build())
 
     # ------------------------------------------------------------------
     # Introspection
@@ -83,6 +123,10 @@ class TSDB:
     @property
     def point_count(self) -> int:
         return sum(s.approximate_size for s in self._stores.values())
+
+    def exact_point_count(self) -> int:
+        """Point count with duplicates resolved (forces compaction)."""
+        return sum(len(s) for s in self._stores.values())
 
     @property
     def write_count(self) -> int:
@@ -125,7 +169,7 @@ class TSDB:
         """Execute a query; see :class:`~repro.tsdb.query.Query`."""
         matched = self._match(query.metric, query.tags)
         ds = query.parsed_downsample()
-        agg = aggregators.get(query.aggregator)
+        agg = aggregators.get_columnar(query.aggregator)
 
         groups: dict[tuple[tuple[str, str], ...], list[SeriesKey]] = defaultdict(list)
         for key in matched:
@@ -195,9 +239,18 @@ class TSDB:
                 dead.append(key)
         for key in dead:
             del self._stores[key]
-            self._by_metric[key.metric].discard(key)
+            metric_bucket = self._by_metric[key.metric]
+            metric_bucket.discard(key)
+            if not metric_bucket:
+                # Prune empty buckets: under retention churn, dead series
+                # would otherwise leave their index entries behind forever.
+                del self._by_metric[key.metric]
             for pair in key.tags:
-                self._by_tag[pair].discard(key)
+                tag_bucket = self._by_tag.get(pair)
+                if tag_bucket is not None:
+                    tag_bucket.discard(key)
+                    if not tag_bucket:
+                        del self._by_tag[pair]
         return dropped
 
 
@@ -209,6 +262,11 @@ def _aggregate_across(slices: list[SeriesSlice], agg) -> SeriesSlice:
     there.  (OpenTSDB interpolates; our feeds are bucket-aligned by the
     ingest pipeline, so exact alignment is the common case and
     interpolation is left to downsample fill policies.)
+
+    ``agg`` is a *columnar* aggregator (see
+    :func:`~repro.tsdb.aggregators.get_columnar`): the whole
+    series×instant matrix reduces in one numpy pass instead of a Python
+    loop per timestamp.
     """
     slices = [s for s in slices if len(s) > 0]
     if not slices:
@@ -220,7 +278,4 @@ def _aggregate_across(slices: list[SeriesSlice], agg) -> SeriesSlice:
     for i, s in enumerate(slices):
         idx = np.searchsorted(all_ts, s.timestamps)
         stacked[i, idx] = s.values
-    out = np.empty(all_ts.shape[0], dtype=np.float64)
-    for j in range(all_ts.shape[0]):
-        out[j] = agg(stacked[:, j])
-    return SeriesSlice(all_ts, out)
+    return SeriesSlice(all_ts, agg(stacked))

@@ -15,6 +15,7 @@ from enum import Enum
 import numpy as np
 
 from . import aggregators
+from .batch import run_boundaries
 from .series import SeriesSlice
 
 _SPEC_RE = re.compile(r"^(\d+)(s|m|h|d)-([a-z0-9]+)(?:-([a-z]+))?$")
@@ -86,8 +87,11 @@ def apply(
     ``start``/``end`` bound the emitted bucket range; when given with a
     gap-filling policy, empty leading/trailing buckets are emitted too,
     which dashboards rely on for fixed-width windows.
+
+    Bucket aggregation is vectorized via ``reduceat`` when the
+    aggregator supports it; order statistics (median, percentiles) fall
+    back to a per-bucket loop.
     """
-    agg = aggregators.get(ds.agg)
     w = ds.width
 
     if len(slice_) == 0 and (start is None or end is None):
@@ -96,7 +100,7 @@ def apply(
     if ds.fill is FillPolicy.NONE:
         # No gap filling: only occupied buckets are emitted, so work is
         # proportional to the number of points, not the time span.
-        return _sparse_buckets(slice_, w, agg, start, end)
+        return _sparse_buckets(slice_, w, ds.agg, start, end)
 
     lo = slice_.timestamps[0] if start is None else start
     hi = slice_.timestamps[-1] if end is None else end
@@ -122,11 +126,8 @@ def apply(
         vals = slice_.values[in_range]
         # Group contiguous runs of equal bucket index (timestamps sorted).
         if idx.size > 0:
-            boundaries = np.nonzero(np.diff(idx))[0] + 1
-            starts = np.concatenate([[0], boundaries])
-            ends = np.concatenate([boundaries, [idx.size]])
-            for s, e in zip(starts, ends):
-                bucket_vals[int(idx[s])] = agg(vals[s:e])
+            starts, _ = run_boundaries(idx)
+            bucket_vals[idx[starts]] = _reduce_segments(ds.agg, vals, starts)
 
     empty = np.isnan(bucket_vals)
     if ds.fill is FillPolicy.ZERO:
@@ -139,10 +140,24 @@ def apply(
     return SeriesSlice(bucket_ts, bucket_vals)
 
 
+def _reduce_segments(agg_name: str, vals: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Aggregate contiguous non-empty segments of ``vals``.
+
+    Uses the vectorized reduceat form when the aggregator has one; order
+    statistics fall back to a per-segment loop over numpy slices.
+    """
+    gagg = aggregators.grouped(agg_name)
+    if gagg is not None:
+        return gagg(vals, starts)
+    agg = aggregators.get(agg_name)
+    ends = np.concatenate([starts[1:], [vals.shape[0]]])
+    return np.array([agg(vals[s:e]) for s, e in zip(starts, ends)])
+
+
 def _sparse_buckets(
     slice_: SeriesSlice,
     w: int,
-    agg,
+    agg_name: str,
     start: int | None,
     end: int | None,
 ) -> SeriesSlice:
@@ -157,24 +172,21 @@ def _sparse_buckets(
     if ts.shape[0] == 0:
         return SeriesSlice(np.empty(0, np.int64), np.empty(0, np.float64))
     bucket_of = (ts // w) * w
-    boundaries = np.nonzero(np.diff(bucket_of))[0] + 1
-    starts = np.concatenate([[0], boundaries])
-    ends = np.concatenate([boundaries, [ts.shape[0]]])
+    starts, _ = run_boundaries(bucket_of)
     out_ts = bucket_of[starts]
-    out_vals = np.array([agg(vals[s:e]) for s, e in zip(starts, ends)])
+    out_vals = _reduce_segments(agg_name, vals, starts)
     keep = ~np.isnan(out_vals)
     return SeriesSlice(out_ts[keep].astype(np.int64), out_vals[keep])
 
 
 def _fill_previous(vals: np.ndarray) -> np.ndarray:
-    out = vals.copy()
-    last = np.nan
-    for i in range(out.shape[0]):
-        if np.isnan(out[i]):
-            out[i] = last
-        else:
-            last = out[i]
-    return out
+    known = ~np.isnan(vals)
+    # Forward-fill: index of the most recent known bucket at each slot.
+    # Slots before the first known bucket point at slot 0, which is NaN
+    # there by construction, so they stay NaN.
+    idx = np.where(known, np.arange(vals.shape[0]), 0)
+    np.maximum.accumulate(idx, out=idx)
+    return vals[idx]
 
 
 def _fill_linear(ts: np.ndarray, vals: np.ndarray) -> np.ndarray:

@@ -148,7 +148,7 @@ def iter_log(
 
 
 def load(source: str | os.PathLike[str] | TextIO, *, strict: bool = True) -> TSDB:
-    """Replay a log into a fresh database."""
+    """Replay a log into a fresh database (chunked columnar batches)."""
     db = TSDB()
     db.put_many(iter_log(source, strict=strict))
     return db

@@ -75,10 +75,56 @@ class SeriesStore:
         self._vals[self._n] = value
         self._n += 1
 
-    def _grow(self) -> None:
+    def _grow(self, minimum: int | None = None) -> None:
         cap = max(self._INITIAL, self._ts.shape[0] * 2)
+        if minimum is not None:
+            cap = max(cap, minimum)
         self._ts = np.resize(self._ts, cap)
         self._vals = np.resize(self._vals, cap)
+
+    def extend_batch(self, timestamps, values) -> int:
+        """Bulk-append a column of points with one sorted merge.
+
+        Accepts arbitrary order and duplicates; within the batch, later
+        rows win on duplicate timestamps, and the whole batch wins over
+        previously stored points (same last-write-wins semantics as a
+        sequence of :meth:`append` calls).  Returns points accepted.
+        """
+        ts = np.ascontiguousarray(timestamps, dtype=np.int64)
+        vals = np.ascontiguousarray(values, dtype=np.float64)
+        if ts.ndim != 1 or ts.shape != vals.shape:
+            raise ValueError(
+                f"expected parallel 1-D columns, got {ts.shape} and {vals.shape}"
+            )
+        n = int(ts.shape[0])
+        if n == 0:
+            return 0
+        in_order = n == 1 or bool(np.all(ts[1:] > ts[:-1]))
+        if (
+            in_order
+            and not self._tail_ts
+            and (self._n == 0 or int(ts[0]) > int(self._ts[self._n - 1]))
+        ):
+            # Fast path: the batch extends the sorted region directly.
+            need = self._n + n
+            if need > self._ts.shape[0]:
+                self._grow(minimum=need)
+            self._ts[self._n : need] = ts
+            self._vals[self._n : need] = vals
+            self._n = need
+            return n
+        # Slow path: one stable merge of sorted region + tail + batch.
+        merged_ts, merged_vals = _merge_last_wins(
+            [self._ts[: self._n], np.asarray(self._tail_ts, dtype=np.int64), ts],
+            [self._vals[: self._n], np.asarray(self._tail_vals, dtype=np.float64), vals],
+        )
+        self._ts = merged_ts
+        self._vals = merged_vals
+        self._n = int(merged_ts.shape[0])
+        self._tail_ts.clear()
+        self._tail_vals.clear()
+        self._dirty = False
+        return n
 
     def _compact(self) -> None:
         """Merge the unsorted tail into the sorted arrays, deduplicating.
@@ -88,21 +134,10 @@ class SeriesStore:
         """
         if not self._dirty:
             return
-        merged_ts = np.concatenate(
-            [self._ts[: self._n], np.asarray(self._tail_ts, dtype=np.int64)]
+        merged_ts, merged_vals = _merge_last_wins(
+            [self._ts[: self._n], np.asarray(self._tail_ts, dtype=np.int64)],
+            [self._vals[: self._n], np.asarray(self._tail_vals, dtype=np.float64)],
         )
-        merged_vals = np.concatenate(
-            [self._vals[: self._n], np.asarray(self._tail_vals, dtype=np.float64)]
-        )
-        # Stable sort keeps insertion order for equal timestamps, so taking
-        # the *last* element of each equal-run implements overwrite.
-        order = np.argsort(merged_ts, kind="stable")
-        merged_ts = merged_ts[order]
-        merged_vals = merged_vals[order]
-        keep = np.ones(merged_ts.shape[0], dtype=bool)
-        keep[:-1] = merged_ts[1:] != merged_ts[:-1]
-        merged_ts = merged_ts[keep]
-        merged_vals = merged_vals[keep]
         self._ts = merged_ts
         self._vals = merged_vals
         self._n = int(merged_ts.shape[0])
@@ -140,6 +175,23 @@ class SeriesStore:
         self._vals = self._vals[lo : self._n].copy()
         self._n -= lo
         return lo
+
+
+def _merge_last_wins(
+    ts_parts: list[np.ndarray], val_parts: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate, stable-sort by time, and keep the last value per
+    timestamp (later parts / later rows overwrite earlier ones)."""
+    merged_ts = np.concatenate(ts_parts)
+    merged_vals = np.concatenate(val_parts)
+    # Stable sort keeps insertion order for equal timestamps, so taking
+    # the *last* element of each equal-run implements overwrite.
+    order = np.argsort(merged_ts, kind="stable")
+    merged_ts = merged_ts[order]
+    merged_vals = merged_vals[order]
+    keep = np.ones(merged_ts.shape[0], dtype=bool)
+    keep[:-1] = merged_ts[1:] != merged_ts[:-1]
+    return merged_ts[keep], merged_vals[keep]
 
 
 def merge_slices(slices: list[SeriesSlice]) -> SeriesSlice:

@@ -27,7 +27,7 @@ from repro.tsdb import METRIC_CO2, Query, TSDB
 class Pipeline:
     """Full Fig. 2 stack on one scheduler."""
 
-    def __init__(self, n_nodes=3, seed=0):
+    def __init__(self, n_nodes=3, seed=0, **dataport_kwargs):
         self.scheduler = Scheduler(SimClock(start=0))
         self.env = UrbanEnvironment("trondheim", TRONDHEIM, seed=7)
         self.plane = RadioPlane(
@@ -39,7 +39,9 @@ class Pipeline:
         self.broker = Broker(np.random.default_rng(seed + 1))
         self.bridge = TtnMqttBridge(self.ns, self.broker, "trondheim")
         self.db = TSDB()
-        self.dataport = Dataport(self.broker, self.db, self.scheduler)
+        self.dataport = Dataport(
+            self.broker, self.db, self.scheduler, **dataport_kwargs
+        )
         self.dataport.register_gateway("gw-0")
 
         self.nodes = []
@@ -183,3 +185,62 @@ class TestEndToEnd:
         doc = json.loads(seen[0].text())
         assert doc["dev_eui"] == "ctt-00"
         assert doc["gateways"][0]["id"] == "gw-0"
+
+
+class TestBatchedWrites:
+    """Hop 5 with a positive batch window: accumulate, flush per tick."""
+
+    def test_windowed_mode_defers_until_tick(self):
+        # Window offset from the 300 s sampling cadence so the flush
+        # tick (t=400) never coincides with an uplink.
+        p = Pipeline(n_nodes=1, batch_window_s=400)
+        # First uplink lands at t=300; the first flush tick is t=400.
+        p.run(399)
+        assert p.dataport.stats.uplinks_processed == 1
+        assert p.dataport.writer.pending == 8
+        assert p.dataport.stats.points_written == 0
+        assert p.db.point_count == 0
+        p.run(1)  # the t=400 tick flushes the buffered uplink
+        assert p.dataport.writer.pending == 0
+        assert p.dataport.stats.points_written == 8
+        assert p.db.point_count == 8
+
+    def test_windowed_mode_matches_write_through_totals(self):
+        eager = Pipeline(n_nodes=2)
+        lazy = Pipeline(n_nodes=2, batch_window_s=300)
+        eager.run(HOUR)
+        lazy.run(HOUR)
+        lazy.dataport.flush_writes()  # drain the last partial window
+        assert (
+            lazy.dataport.stats.points_written
+            == eager.dataport.stats.points_written
+        )
+        q = Query(METRIC_CO2, 0, HOUR, tags={"city": "trondheim"})
+        a, b = eager.db.run(q).single(), lazy.db.run(q).single()
+        assert a.timestamps.tolist() == b.timestamps.tolist()
+        assert a.values.tolist() == b.values.tolist()
+
+    def test_write_through_mode_flushes_per_uplink(self):
+        p = Pipeline(n_nodes=1)
+        p.run(HOUR)
+        assert p.dataport.writer.pending == 0
+        assert p.dataport.stats.batch_flushes == p.expected_uplinks(0)
+        assert p.dataport.stats.points_written == 8 * p.expected_uplinks(0)
+
+    def test_buffer_cap_forces_early_flush(self):
+        p = Pipeline(n_nodes=1, batch_window_s=HOUR, max_pending_points=16)
+        p.run(HOUR - 1)  # several uplinks before the first tick
+        # 8 points per uplink, cap at 16 -> flushed every second uplink.
+        assert p.dataport.writer.pending < 16
+        assert p.dataport.stats.points_written > 0
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline(n_nodes=1, batch_window_s=-1)
+
+    def test_status_json_reports_pending_points(self):
+        p = Pipeline(n_nodes=1, batch_window_s=400)
+        p.run(399)
+        stats = json.loads(p.dataport.status_json())["stats"]
+        assert stats["points_pending"] == 8
+        assert stats["points_written"] == 0

@@ -21,6 +21,7 @@ from repro.lorawan import (
     best_sf_for_distance,
     bitrate_bps,
     decode_measurements,
+    decode_measurements_batch,
     encode_measurements,
     uplink_from_json,
     uplink_to_json,
@@ -119,6 +120,60 @@ class TestPayloadCodec:
     def test_sequence_wraps(self):
         m = Measurements(400, 10, 10, 5, 0, 1000, 50, 3.7, sequence=65536 + 3)
         assert decode_measurements(encode_measurements(m)).sequence == 3
+
+
+class TestBatchDecode:
+    """Vectorized decode must match the scalar codec field-for-field."""
+
+    def _random_measurements(self, n, seed=0):
+        rng = np.random.default_rng(seed)
+        return [
+            Measurements(
+                co2_ppm=float(rng.integers(350, 2000)),
+                no2_ugm3=float(rng.integers(0, 3000)) / 10.0,
+                pm10_ugm3=float(rng.integers(0, 5000)) / 10.0,
+                pm25_ugm3=float(rng.integers(0, 2500)) / 10.0,
+                temperature_c=float(rng.integers(-3000, 4000)) / 100.0,
+                pressure_hpa=float(rng.integers(9000, 10800)) / 10.0,
+                humidity_pct=float(rng.integers(0, 10000)) / 100.0,
+                battery_v=float(rng.integers(2500, 4200)) / 1000.0,
+                sequence=int(rng.integers(0, 65536)),
+            )
+            for _ in range(n)
+        ]
+
+    def test_matches_scalar_decode(self):
+        ms = self._random_measurements(200)
+        payloads = [encode_measurements(m) for m in ms]
+        cols = decode_measurements_batch(payloads)
+        for i, p in enumerate(payloads):
+            scalar = decode_measurements(p)
+            for attr, expected in scalar.as_dict().items():
+                assert cols[attr][i] == pytest.approx(expected), attr
+            assert int(cols["sequence"][i]) == scalar.sequence
+
+    def test_accepts_preconcatenated_buffer(self):
+        ms = self._random_measurements(8, seed=1)
+        buf = b"".join(encode_measurements(m) for m in ms)
+        cols = decode_measurements_batch(buf)
+        assert cols["co2_ppm"].shape == (8,)
+        assert cols["co2_ppm"][0] == ms[0].co2_ppm
+
+    def test_empty_input(self):
+        cols = decode_measurements_batch([])
+        assert cols["co2_ppm"].shape == (0,)
+
+    def test_accepts_generator_input(self):
+        ms = self._random_measurements(3, seed=2)
+        cols = decode_measurements_batch(encode_measurements(m) for m in ms)
+        assert cols["co2_ppm"].shape == (3,)
+        assert cols["co2_ppm"][2] == ms[2].co2_ppm
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(PayloadError):
+            decode_measurements_batch([b"\x00" * 17, b"\x00" * 19])
+        with pytest.raises(PayloadError):
+            decode_measurements_batch(b"\x00" * 19)
 
 
 class TestPropagation:

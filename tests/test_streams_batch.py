@@ -1,0 +1,174 @@
+"""Batch-path equivalence for stream operators.
+
+A chain fed columnar `EventBatch` blocks must produce the same output as
+the same chain fed the same events one at a time — whether a stage has a
+vectorized form or falls back to per-event processing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.streams import (
+    BatchSink,
+    Event,
+    EventBatch,
+    Filter,
+    Map,
+    Segmenter,
+    Sink,
+    Source,
+    TumblingWindow,
+    chain,
+)
+
+
+def make_batch(ts, vals, tags=None):
+    return EventBatch(np.asarray(ts), np.asarray(vals), dict(tags or {}))
+
+
+class TestEventBatch:
+    def test_iterates_as_events(self):
+        batch = make_batch([1, 2], [1.0, 2.0], {"city": "vejle"})
+        events = list(batch)
+        assert events[0] == Event(1, 1.0, {"city": "vejle"})
+        assert len(batch) == 2
+
+    def test_from_events_roundtrip(self):
+        events = [Event(1, 1.0), Event(5, 5.0)]
+        batch = EventBatch.from_events(events)
+        assert batch.timestamps.tolist() == [1, 5]
+        assert batch.values.tolist() == [1.0, 5.0]
+
+    def test_from_events_keeps_shared_tags(self):
+        events = [Event(1, 1.0, {"seg": "0"}), Event(2, 2.0, {"seg": "0"})]
+        assert EventBatch.from_events(events).tags == {"seg": "0"}
+
+    def test_from_events_rejects_mixed_tags(self):
+        events = [Event(1, 1.0, {"seg": "0"}), Event(2, 2.0, {"seg": "1"})]
+        with pytest.raises(ValueError):
+            EventBatch.from_events(events)
+        # explicit override is the escape hatch
+        batch = EventBatch.from_events(events, tags={"seg": "mixed"})
+        assert batch.tags == {"seg": "mixed"}
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            EventBatch(np.array([1, 2]), np.array([1.0]))
+
+
+class TestBatchScalarEquivalence:
+    def build_chain(self, vectorized):
+        src = Source()
+        mapped = Map(
+            lambda e: Event(e.timestamp, e.value * 2.0, e.tags),
+            vector_fn=(lambda ts, v: (ts, v * 2.0)) if vectorized else None,
+        )
+        kept = Filter(
+            lambda e: e.value > 0,
+            vector_predicate=(lambda ts, v: v > 0) if vectorized else None,
+        )
+        window = TumblingWindow(60, aggregate=np.mean)
+        sink = Sink()
+        chain(src, mapped, kept, window, sink)
+        return src, sink
+
+    @pytest.mark.parametrize("vectorized", [False, True])
+    def test_batched_chain_matches_per_event_chain(self, vectorized):
+        rng = np.random.default_rng(11)
+        ts = np.sort(rng.integers(0, 1_000, size=400)).astype(np.int64)
+        vals = rng.normal(size=400)
+
+        scalar_src, scalar_sink = self.build_chain(vectorized=False)
+        scalar_src.push_many(Event(int(t), float(v)) for t, v in zip(ts, vals))
+        scalar_src.flush()
+
+        batch_src, batch_sink = self.build_chain(vectorized=vectorized)
+        for lo in range(0, 400, 64):  # uneven final chunk on purpose
+            batch_src.push_batch(make_batch(ts[lo : lo + 64], vals[lo : lo + 64]))
+        batch_src.flush()
+
+        assert scalar_sink.timestamps().tolist() == batch_sink.timestamps().tolist()
+        assert np.allclose(scalar_sink.values(), batch_sink.values())
+
+    def test_counts_match_between_paths(self):
+        src, _ = self.build_chain(vectorized=True)
+        src.push_batch(make_batch([0, 1, 2], [1.0, -1.0, 2.0]))
+        assert src.received == 3
+        assert src.emitted == 3
+
+    def test_late_events_fold_into_open_window(self):
+        """Batch path applies the same event-time rule as per-event."""
+        for use_batch in (False, True):
+            window = TumblingWindow(60, aggregate=np.sum)
+            sink = Sink()
+            window.to(sink)
+            events = [(0, 1.0), (61, 2.0), (30, 4.0), (122, 8.0)]
+            if use_batch:
+                window.push_batch(
+                    make_batch([t for t, _ in events], [v for _, v in events])
+                )
+            else:
+                for t, v in events:
+                    window.push(Event(t, v))
+            window.flush()
+            # 30 arrives after the [60,120) window opened -> folds into it.
+            assert sink.timestamps().tolist() == [0, 60, 120]
+            assert sink.values().tolist() == [1.0, 6.0, 8.0]
+
+    def test_filter_integer_mask_is_treated_as_boolean(self):
+        """A 0/1 int mask must filter, not fancy-index duplicate rows."""
+        kept = Filter(
+            lambda e: e.value > 0,
+            vector_predicate=lambda ts, v: (v > 0).astype(int),
+        )
+        sink = BatchSink()
+        kept.to(sink)
+        kept.push_batch(make_batch([1, 2, 3], [-1.0, 5.0, 7.0]))
+        assert sink.values().tolist() == [5.0, 7.0]
+
+    def test_filter_vector_mask_all_and_none(self):
+        kept = Filter(lambda e: e.value > 0, vector_predicate=lambda ts, v: v > 0)
+        sink = BatchSink()
+        kept.to(sink)
+        kept.push_batch(make_batch([1, 2], [1.0, 2.0]))
+        kept.push_batch(make_batch([3, 4], [-1.0, -2.0]))
+        assert sink.timestamps().tolist() == [1, 2]
+        assert kept.emitted == 2
+
+
+class TestBatchSink:
+    def test_collects_batches_and_single_events(self):
+        sink = BatchSink()
+        sink.push_batch(make_batch([1, 2], [1.0, 2.0]))
+        sink.push(Event(3, 3.0))
+        assert len(sink) == 3
+        assert sink.timestamps().tolist() == [1, 2, 3]
+        assert sink.values().tolist() == [1.0, 2.0, 3.0]
+
+    def test_empty(self):
+        sink = BatchSink()
+        assert len(sink) == 0
+        assert sink.timestamps().tolist() == []
+        assert sink.values().tolist() == []
+
+
+class TestFallbackOperators:
+    def test_segmenter_handles_batches_via_fallback(self):
+        segments = []
+        seg = Segmenter(10, on_segment=segments.append)
+        sink = Sink()
+        seg.to(sink)
+        seg.push_batch(make_batch([0, 5, 100, 103], [1.0, 2.0, 3.0, 4.0]))
+        seg.flush()
+        assert len(segments) == 2
+        assert [e.timestamp for e in segments[0]] == [0, 5]
+        assert sink.events[-1].tags["segment"] == 1
+
+    def test_plain_operator_forwards_batches(self):
+        from repro.streams import Operator
+
+        head = Operator()
+        sink = BatchSink()
+        head.to(sink)
+        head.push_batch(make_batch([1], [1.0]))
+        assert sink.timestamps().tolist() == [1]
