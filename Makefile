@@ -1,13 +1,20 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench lint
+.PHONY: test test-sharded bench bench-sharded lint
 
 test:
 	$(PYTHON) -m pytest -x -q
 
+# The sharded-equivalence gate: fixed-seed, fully deterministic.
+test-sharded:
+	$(PYTHON) -m pytest -q tests/test_tsdb_sharded.py
+
 bench:
 	$(PYTHON) -m pytest -q benchmarks/test_ingest_throughput.py -s
+
+bench-sharded:
+	$(PYTHON) -m pytest -q benchmarks/test_ingest_throughput.py -k sharded -s
 
 lint:
 	$(PYTHON) -m ruff check src/

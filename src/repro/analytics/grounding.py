@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..integration.oco2 import Oco2Connector
-from ..tsdb import METRIC_CO2, Query, TSDB
+from ..tsdb import METRIC_CO2, Query, TimeSeriesStore
 
 
 @dataclass(frozen=True)
@@ -48,7 +48,7 @@ class GroundingReport:
 
 
 def ground_against_satellite(
-    db: TSDB,
+    db: TimeSeriesStore,
     satellite: Oco2Connector,
     city_tag: str,
     start: int,

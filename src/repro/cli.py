@@ -35,24 +35,30 @@ def _deployment(city: str):
     raise SystemExit(f"unknown city {city!r}; pick 'trondheim' or 'vejle'")
 
 
-def _build(city: str, hours: int, seed: int) -> tuple[CttEcosystem, object]:
-    eco = CttEcosystem([_deployment(city)], config=EcosystemConfig(seed=seed))
+def _build(
+    city: str, hours: int, seed: int, shards: int = 0
+) -> tuple[CttEcosystem, object]:
+    eco = CttEcosystem(
+        [_deployment(city)],
+        config=EcosystemConfig(seed=seed, tsdb_shards=shards),
+    )
     eco.start()
     eco.run(hours * HOUR)
     return eco, eco.city(city)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    eco, city = _build(args.city, args.hours, args.seed)
+    eco, city = _build(args.city, args.hours, args.seed, args.shards)
     stats = city.delivery_stats()
-    print(f"{args.city}: {args.hours} simulated hour(s)")
+    store = f"sharded tsdb ({args.shards} shards)" if args.shards else "tsdb"
+    print(f"{args.city}: {args.hours} simulated hour(s), store: {store}")
     for key, value in stats.items():
         print(f"  {key:>22}: {value}")
     return 0
 
 
 def cmd_dashboard(args: argparse.Namespace) -> int:
-    eco, city = _build(args.city, args.hours, args.seed)
+    eco, city = _build(args.city, args.hours, args.seed, args.shards)
     start = eco.now - args.hours * HOUR
     dash = build_air_quality_dashboard(city, start, eco.now)
     print(dash.render_text())
@@ -60,7 +66,7 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
 
 
 def cmd_wall(args: argparse.Namespace) -> int:
-    eco, city = _build(args.city, args.hours, args.seed)
+    eco, city = _build(args.city, args.hours, args.seed, args.shards)
     start = eco.now - args.hours * HOUR
     print(build_wall_display(city, start, eco.now).render_text())
     return 0
@@ -99,6 +105,8 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("trondheim", "vejle"))
         p.add_argument("--hours", type=int, default=6)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="partition the TSDB across N shards (0 = single store)")
 
     p_run = sub.add_parser("run", help="simulate and print pipeline stats")
     common(p_run)

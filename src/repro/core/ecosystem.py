@@ -41,7 +41,7 @@ from ..sensors import (
     random_fault_plan,
 )
 from ..simclock import DAY, Scheduler, SimClock
-from ..tsdb import TSDB
+from ..tsdb import TSDB, ShardedTSDB, TimeSeriesStore
 from .deployment import CityDeployment
 
 
@@ -58,6 +58,14 @@ class EcosystemConfig:
     power_spec: PowerSpec = field(default_factory=PowerSpec)
     twin_config: TwinConfig = field(default_factory=TwinConfig)
     watchdog_interval_s: int = 60
+    #: Number of TSDB shards; 0 keeps the single in-process store.
+    tsdb_shards: int = 0
+
+    def build_store(self) -> TimeSeriesStore:
+        """The shared measurement store this config calls for."""
+        if self.tsdb_shards > 0:
+            return ShardedTSDB(self.tsdb_shards)
+        return TSDB()
 
 
 class CityEcosystem:
@@ -67,7 +75,7 @@ class CityEcosystem:
         self,
         deployment: CityDeployment,
         scheduler: Scheduler,
-        db: TSDB,
+        db: TimeSeriesStore,
         config: EcosystemConfig | None = None,
     ) -> None:
         self.deployment = deployment
@@ -280,8 +288,8 @@ class CttEcosystem:
         self.scheduler = Scheduler(
             SimClock(start=start_time if start_time is not None else CTT_EPOCH)
         )
-        self.db = TSDB()
         self.config = config or EcosystemConfig()
+        self.db = self.config.build_store()
         self.cities: dict[str, CityEcosystem] = {}
         for deployment in deployments:
             self.cities[deployment.city] = CityEcosystem(

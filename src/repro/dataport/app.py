@@ -38,8 +38,8 @@ from ..tsdb import (
     METRIC_PM25,
     METRIC_PRESSURE,
     METRIC_TEMPERATURE,
-    TSDB,
     BatchBuilder,
+    TimeSeriesStore,
 )
 from .actors import ActorSystem
 from .alarms import AlarmLog, Severity
@@ -71,11 +71,14 @@ class BatchingTsdbWriter:
     interned once per series, values in growable columns) and reach the
     database as one :meth:`~repro.tsdb.TSDB.put_batch` per flush —
     either when the dataport's scheduler tick fires, or when the buffer
-    hits ``max_pending`` under burst load.
+    hits ``max_pending`` under burst load.  ``db`` is any
+    :class:`~repro.tsdb.TimeSeriesStore` — the single-process
+    :class:`~repro.tsdb.TSDB` or a :class:`~repro.tsdb.ShardedTSDB`
+    (the batch boundary is exactly the shard-routing boundary).
     """
 
     def __init__(
-        self, db: TSDB, *, max_pending: int = 10_000, on_flush=None
+        self, db: TimeSeriesStore, *, max_pending: int = 10_000, on_flush=None
     ) -> None:
         if max_pending <= 0:
             raise ValueError("max_pending must be positive")
@@ -144,7 +147,7 @@ class Dataport:
     def __init__(
         self,
         broker: Broker,
-        db: TSDB,
+        db: TimeSeriesStore,
         scheduler: Scheduler,
         *,
         config: TwinConfig | None = None,

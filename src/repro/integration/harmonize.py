@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..tsdb import TSDB, Downsample, Query
+from ..tsdb import Downsample, Query, TimeSeriesStore
 from .base import Connector, Observation
 
 #: External observations live under this metric prefix.
@@ -52,7 +52,7 @@ class SyncReport:
 class Harmonizer:
     """Pulls registered connectors and writes into a TSDB."""
 
-    def __init__(self, db: TSDB) -> None:
+    def __init__(self, db: TimeSeriesStore) -> None:
         self.db = db
         self._connectors: list[Connector] = []
 

@@ -10,8 +10,9 @@ data up into coarser series.
 
 from . import aggregators
 from .batch import BatchBuilder, PointBatch, run_boundaries
-from .database import TSDB
+from .database import TSDB, execute_query
 from .downsample import Downsample, FillPolicy, InvalidDownsampleSpec
+from .interface import TimeSeriesStore
 from .model import (
     ALL_AIR_METRICS,
     ALL_WEATHER_METRICS,
@@ -31,24 +32,30 @@ from .model import (
     validate_name,
 )
 from .persistence import (
+    DeleteBefore,
     LogCorruption,
     LogWriter,
     dumps,
+    format_delete_before,
     format_point,
+    iter_entries,
     iter_log,
     load,
+    parse_entry,
     parse_line,
     snapshot,
 )
 from .query import Query, QueryError, QueryResult, ResultSeries, compute_rate
 from .retention import RetentionPolicy, RolledUp
 from .series import SeriesSlice, SeriesStore, merge_slices
+from .sharded import ShardedTSDB, scatter_batch, shard_for_key
 
 __all__ = [
     "ALL_AIR_METRICS",
     "ALL_WEATHER_METRICS",
     "BatchBuilder",
     "DataPoint",
+    "DeleteBefore",
     "Downsample",
     "FillPolicy",
     "InvalidDownsampleSpec",
@@ -75,16 +82,24 @@ __all__ = [
     "SeriesKey",
     "SeriesSlice",
     "SeriesStore",
+    "ShardedTSDB",
     "TSDB",
+    "TimeSeriesStore",
     "aggregators",
     "compute_rate",
     "dumps",
+    "execute_query",
+    "format_delete_before",
     "format_point",
+    "iter_entries",
     "iter_log",
     "load",
     "merge_slices",
+    "parse_entry",
     "parse_line",
     "run_boundaries",
+    "scatter_batch",
+    "shard_for_key",
     "snapshot",
     "validate_name",
 ]

@@ -9,19 +9,20 @@ cross-series aggregation → (optional) downsample.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable, Mapping
+from typing import Callable, Mapping
 
 import numpy as np
 
 from . import aggregators
-from .batch import BatchBuilder, PointBatch
+from .batch import PointBatch
 from .downsample import apply as apply_downsample
+from .interface import StoreApi
 from .model import DataPoint, SeriesKey, validate_name
 from .query import Query, QueryResult, ResultSeries, compute_rate
 from .series import SeriesSlice, SeriesStore
 
 
-class TSDB:
+class TSDB(StoreApi):
     """In-memory time-series database with tag-indexed queries.
 
     The public surface is deliberately OpenTSDB-shaped:
@@ -84,9 +85,18 @@ class TSDB:
         and last-write-wins dedup); returns points written.
         """
         for key, ts, vals in batch.by_series():
-            self._store_for(key).extend_batch(ts, vals)
-        self._puts += len(batch)
+            self.put_column(key, ts, vals)
         return len(batch)
+
+    def put_column(self, key: SeriesKey, timestamps, values) -> int:
+        """Bulk-write one series' parallel columns under a prebuilt key.
+
+        The primitive under :meth:`put_batch`; shard routers call it
+        directly so a regrouped batch lands without re-encoding.
+        """
+        n = self._store_for(key).extend_batch(timestamps, values)
+        self._puts += n
+        return n
 
     def put_series(
         self,
@@ -99,19 +109,6 @@ class TSDB:
         batch = PointBatch.for_series(metric, timestamps, values, tags)
         self.put_batch(batch)
         return batch.keys[0]
-
-    #: put_many flushes its builder at this size so streaming a huge
-    #: iterable stays bounded-memory while keeping batch overhead tiny.
-    _PUT_MANY_CHUNK = 65_536
-
-    def put_many(self, points: Iterable[DataPoint]) -> int:
-        builder = BatchBuilder()
-        n = 0
-        for p in points:
-            builder.add_point(p)
-            if len(builder) >= self._PUT_MANY_CHUNK:
-                n += self.put_batch(builder.build())
-        return n + self.put_batch(builder.build())
 
     # ------------------------------------------------------------------
     # Introspection
@@ -139,9 +136,6 @@ class TSDB:
     def series_for_metric(self, metric: str) -> list[SeriesKey]:
         return sorted(self._by_metric.get(metric, ()), key=str)
 
-    def suggest_metrics(self, prefix: str = "") -> list[str]:
-        return [m for m in self.metrics() if m.startswith(prefix)]
-
     def suggest_tag_values(self, metric: str, tag_key: str) -> list[str]:
         validate_name(tag_key, "tag key")
         values = {
@@ -168,41 +162,20 @@ class TSDB:
     def run(self, query: Query) -> QueryResult:
         """Execute a query; see :class:`~repro.tsdb.query.Query`."""
         matched = self._match(query.metric, query.tags)
-        ds = query.parsed_downsample()
-        agg = aggregators.get_columnar(query.aggregator)
+        return execute_query(
+            query,
+            matched,
+            lambda key: self._stores[key].scan(query.start, query.end),
+        )
 
-        groups: dict[tuple[tuple[str, str], ...], list[SeriesKey]] = defaultdict(list)
-        for key in matched:
-            label = tuple(
-                (g, key.tag(g, "")) for g in sorted(query.group_by)
-            )
-            groups[label].append(key)
-
-        scanned = 0
-        series_out: list[ResultSeries] = []
-        for label, keys in sorted(groups.items()):
-            slices: list[SeriesSlice] = []
-            for key in sorted(keys, key=str):
-                sl = self._stores[key].scan(query.start, query.end)
-                scanned += len(sl)
-                if query.rate:
-                    sl = compute_rate(sl)
-                slices.append(sl)
-            combined = _aggregate_across(slices, agg)
-            if ds is not None:
-                combined = apply_downsample(combined, ds, query.start, query.end)
-            series_out.append(
-                ResultSeries(
-                    metric=query.metric,
-                    group_tags=dict(label),
-                    slice=combined,
-                    source_series=tuple(sorted(keys, key=str)),
-                )
-            )
-        if not series_out:
-            empty = SeriesSlice(np.empty(0, np.int64), np.empty(0, np.float64))
-            series_out.append(ResultSeries(query.metric, {}, empty, ()))
-        return QueryResult(query=query, series=tuple(series_out), scanned_points=scanned)
+    def series_slice(
+        self, key: SeriesKey, start: int | None = None, end: int | None = None
+    ) -> SeriesSlice:
+        """Raw sorted slice of one series; empty for unknown keys."""
+        store = self._stores.get(key)
+        if store is None:
+            return SeriesSlice(np.empty(0, np.int64), np.empty(0, np.float64))
+        return store.scan(start, end)
 
     def _match(self, metric: str, tags: Mapping[str, str]) -> list[SeriesKey]:
         candidates = self._by_metric.get(metric)
@@ -252,6 +225,58 @@ class TSDB:
                     if not tag_bucket:
                         del self._by_tag[pair]
         return dropped
+
+
+def execute_query(
+    query: Query,
+    matched: list[SeriesKey],
+    scan: Callable[[SeriesKey], SeriesSlice],
+) -> QueryResult:
+    """The group-by → aggregate → downsample plan over scanned slices.
+
+    ``matched`` is the set of series the query touches and ``scan``
+    produces each one's time-sorted slice; everything downstream of the
+    scan is store-layout-independent.  Both :class:`TSDB` and the
+    sharded engine run queries through this one function, so results
+    are bit-identical regardless of how series are partitioned: groups
+    form from the key set alone and slices always aggregate in sorted
+    key order.
+    """
+    ds = query.parsed_downsample()
+    agg = aggregators.get_columnar(query.aggregator)
+
+    groups: dict[tuple[tuple[str, str], ...], list[SeriesKey]] = defaultdict(list)
+    for key in matched:
+        label = tuple(
+            (g, key.tag(g, "")) for g in sorted(query.group_by)
+        )
+        groups[label].append(key)
+
+    scanned = 0
+    series_out: list[ResultSeries] = []
+    for label, keys in sorted(groups.items()):
+        slices: list[SeriesSlice] = []
+        for key in sorted(keys, key=str):
+            sl = scan(key)
+            scanned += len(sl)
+            if query.rate:
+                sl = compute_rate(sl)
+            slices.append(sl)
+        combined = _aggregate_across(slices, agg)
+        if ds is not None:
+            combined = apply_downsample(combined, ds, query.start, query.end)
+        series_out.append(
+            ResultSeries(
+                metric=query.metric,
+                group_tags=dict(label),
+                slice=combined,
+                source_series=tuple(sorted(keys, key=str)),
+            )
+        )
+    if not series_out:
+        empty = SeriesSlice(np.empty(0, np.int64), np.empty(0, np.float64))
+        series_out.append(ResultSeries(query.metric, {}, empty, ()))
+    return QueryResult(query=query, series=tuple(series_out), scanned_points=scanned)
 
 
 def _aggregate_across(slices: list[SeriesSlice], agg) -> SeriesSlice:

@@ -1,0 +1,186 @@
+"""The store interface: what it means to "be a TSDB" in this codebase.
+
+PR 1 made :class:`~repro.tsdb.batch.PointBatch` the unit of flow through
+the ingest pipeline; this module makes the *store* pluggable.  Everything
+downstream of the dataport — persistence, retention, dashboards,
+analytics — talks to a :class:`TimeSeriesStore`, so the single-process
+:class:`~repro.tsdb.database.TSDB` and the hash-partitioned
+:class:`~repro.tsdb.sharded.ShardedTSDB` are interchangeable.
+
+:class:`StoreApi` is the concrete half: convenience methods every store
+gets for free, implemented purely in terms of the protocol surface.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Protocol, Sequence, runtime_checkable
+
+from .batch import BatchBuilder, PointBatch
+from .downsample import Downsample
+from .model import DataPoint, SeriesKey
+from .query import Query, QueryResult, ResultSeries
+from .series import SeriesSlice
+
+
+@runtime_checkable
+class TimeSeriesStore(Protocol):
+    """Structural interface shared by :class:`TSDB` and :class:`ShardedTSDB`.
+
+    The dataport's :class:`~repro.dataport.app.BatchingTsdbWriter`,
+    persistence (``snapshot``/``dumps``/``load(into=...)``), retention
+    policies, dashboards, and analytics entry points all accept any
+    object satisfying this protocol.
+    """
+
+    # -- writes ----------------------------------------------------------
+    def put(
+        self,
+        metric: str,
+        timestamp: int,
+        value: float,
+        tags: Mapping[str, str] | None = None,
+    ) -> SeriesKey: ...
+
+    def put_point(self, point: DataPoint) -> SeriesKey: ...
+
+    def put_batch(self, batch: PointBatch) -> int: ...
+
+    def put_series(
+        self,
+        metric: str,
+        timestamps,
+        values,
+        tags: Mapping[str, str] | None = None,
+    ) -> SeriesKey: ...
+
+    def put_many(self, points: Iterable[DataPoint]) -> int: ...
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def series_count(self) -> int: ...
+
+    @property
+    def point_count(self) -> int: ...
+
+    def exact_point_count(self) -> int: ...
+
+    def metrics(self) -> list[str]: ...
+
+    def series_for_metric(self, metric: str) -> list[SeriesKey]: ...
+
+    def suggest_metrics(self, prefix: str = "") -> list[str]: ...
+
+    def suggest_tag_values(self, metric: str, tag_key: str) -> list[str]: ...
+
+    def last(
+        self, metric: str, tags: Mapping[str, str] | None = None
+    ) -> dict[SeriesKey, tuple[int, float]]: ...
+
+    # -- reads -----------------------------------------------------------
+    def run(self, query: Query) -> QueryResult: ...
+
+    def series_slice(
+        self, key: SeriesKey, start: int | None = None, end: int | None = None
+    ) -> SeriesSlice: ...
+
+    def iter_series(
+        self, start: int | None = None, end: int | None = None
+    ) -> Iterator[tuple[SeriesKey, SeriesSlice]]: ...
+
+    def iter_points(self) -> Iterator[DataPoint]: ...
+
+    # -- maintenance -----------------------------------------------------
+    def delete_before(
+        self, cutoff: int, *, exclude_suffix: str | None = None
+    ) -> int: ...
+
+
+class StoreApi:
+    """Store-agnostic convenience surface, mixed into every store.
+
+    Implemented entirely against :class:`TimeSeriesStore` methods, so a
+    new store implementation only provides the primitive operations.
+    """
+
+    def suggest_metrics(self, prefix: str = "") -> list[str]:
+        return [m for m in self.metrics() if m.startswith(prefix)]
+
+    #: put_many flushes its builder at this size so streaming a huge
+    #: iterable stays bounded-memory while keeping batch overhead tiny.
+    _PUT_MANY_CHUNK = 65_536
+
+    def put_many(self, points: Iterable[DataPoint]) -> int:
+        builder = BatchBuilder()
+        n = 0
+        for p in points:
+            builder.add_point(p)
+            if len(builder) >= self._PUT_MANY_CHUNK:
+                n += self.put_batch(builder.build())
+        return n + self.put_batch(builder.build())
+
+    def query(
+        self,
+        metric: str,
+        start: int,
+        end: int,
+        *,
+        tags: Mapping[str, str] | None = None,
+        aggregator: str = "avg",
+        downsample: str | Downsample | None = None,
+        rate: bool = False,
+        group_by: Sequence[str] = (),
+    ) -> QueryResult:
+        """Build and run a :class:`Query` in one call."""
+        return self.run(
+            Query(
+                metric,
+                start,
+                end,
+                tags=dict(tags or {}),
+                aggregator=aggregator,
+                downsample=downsample,
+                rate=rate,
+                group_by=tuple(group_by),
+            )
+        )
+
+    def query_range(
+        self,
+        metric: str,
+        start: int,
+        end: int,
+        *,
+        tags: Mapping[str, str] | None = None,
+        aggregator: str = "avg",
+        downsample: str | Downsample | None = None,
+        rate: bool = False,
+    ) -> ResultSeries:
+        """Ungrouped range query returning the single merged series."""
+        return self.query(
+            metric,
+            start,
+            end,
+            tags=tags,
+            aggregator=aggregator,
+            downsample=downsample,
+            rate=rate,
+        ).single()
+
+    def iter_series(
+        self, start: int | None = None, end: int | None = None
+    ) -> Iterator[tuple[SeriesKey, SeriesSlice]]:
+        """All series in canonical order (metric, then key string).
+
+        The iteration order is a function of the *data*, not of the
+        store layout, so snapshots of a sharded store are byte-identical
+        to snapshots of a single store holding the same points.
+        """
+        for metric in self.metrics():
+            for key in self.series_for_metric(metric):
+                yield key, self.series_slice(key, start, end)
+
+    def iter_points(self) -> Iterator[DataPoint]:
+        """Every stored point, series by series, time-sorted within each."""
+        for key, sl in self.iter_series():
+            for ts, val in zip(sl.timestamps.tolist(), sl.values.tolist()):
+                yield DataPoint(key, int(ts), float(val))

@@ -5,8 +5,16 @@ reproduce it with a human-readable, append-only *line protocol*::
 
     <metric> <timestamp> <value> [tagk=tagv ...]
 
-plus ``#``-prefixed comments.  A write-ahead writer appends lines as
-points arrive; ``load`` replays a log into a fresh :class:`TSDB`.  This is
+plus ``#``-prefixed comments and ``!``-prefixed control markers.  The
+one control marker is retention::
+
+    !delete_before <cutoff> [exclude=<suffix>]
+
+so a replayed log reproduces the post-retention state, not just the
+union of every point ever written.  A write-ahead writer appends lines
+as points arrive; ``load`` replays a log into a fresh :class:`TSDB` (or,
+via ``into=``, any :class:`~repro.tsdb.interface.TimeSeriesStore`, e.g.
+one shard of a :class:`~repro.tsdb.sharded.ShardedTSDB`).  This is
 deliberately simple (the dataset is city-scale, not hyperscale) but
 covers the real failure mode the dataport cares about: process restarts
 must not lose the historic archive.
@@ -16,11 +24,29 @@ from __future__ import annotations
 
 import io
 import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, TextIO
+from typing import TYPE_CHECKING, Iterable, Iterator, TextIO
 
+from .batch import BatchBuilder
 from .database import TSDB
 from .model import DataPoint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .interface import TimeSeriesStore
+
+
+@dataclass(frozen=True, slots=True)
+class DeleteBefore:
+    """Replayable retention marker: drop points older than ``cutoff``."""
+
+    cutoff: int
+    exclude_suffix: str | None = None
+
+
+#: Control lines start with this character (vs. ``#`` for comments).
+MARKER_PREFIX = "!"
+_MARKER_DELETE_BEFORE = "!delete_before"
 
 
 class LogCorruption(ValueError):
@@ -40,8 +66,51 @@ def format_point(point: DataPoint) -> str:
     return f"{base} {tags}" if tags else base
 
 
+def format_delete_before(marker: DeleteBefore) -> str:
+    """Render a retention marker as a control line."""
+    line = f"{_MARKER_DELETE_BEFORE} {marker.cutoff}"
+    if marker.exclude_suffix is not None:
+        line += f" exclude={marker.exclude_suffix}"
+    return line
+
+
+def _parse_marker(stripped: str, line: str, lineno: int) -> DeleteBefore:
+    parts = stripped.split()
+    if parts[0] != _MARKER_DELETE_BEFORE:
+        raise LogCorruption(lineno, line, f"unknown marker {parts[0]!r}")
+    if len(parts) not in (2, 3):
+        raise LogCorruption(
+            lineno, line, "expected '!delete_before <cutoff> [exclude=<suffix>]'"
+        )
+    try:
+        cutoff = int(parts[1])
+    except ValueError:
+        raise LogCorruption(lineno, line, f"bad cutoff {parts[1]!r}") from None
+    exclude: str | None = None
+    if len(parts) == 3:
+        field, _, value = parts[2].partition("=")
+        if field != "exclude" or not value:
+            raise LogCorruption(lineno, line, f"bad marker option {parts[2]!r}")
+        exclude = value
+    return DeleteBefore(cutoff, exclude)
+
+
+def parse_entry(line: str, lineno: int = 0) -> DataPoint | DeleteBefore | None:
+    """Parse one log line into a point or a control marker.
+
+    Returns None for blanks and comments; raises :class:`LogCorruption`
+    for anything else unparseable.
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    if stripped.startswith(MARKER_PREFIX):
+        return _parse_marker(stripped, line, lineno)
+    return parse_line(line, lineno)
+
+
 def parse_line(line: str, lineno: int = 0) -> DataPoint | None:
-    """Parse one log line; returns None for blanks and comments."""
+    """Parse one data-point log line; returns None for blanks and comments."""
     stripped = line.strip()
     if not stripped or stripped.startswith("#"):
         return None
@@ -99,6 +168,21 @@ class LogWriter:
         self.flush()
         return n
 
+    def delete_before(
+        self, cutoff: int, *, exclude_suffix: str | None = None
+    ) -> None:
+        """Append a retention marker so replay reproduces the deletion.
+
+        Markers don't count toward :attr:`written` (that tracks points).
+        Flushes immediately: the in-memory deletion is destructive, so a
+        buffered marker lost in a crash would resurrect the deleted
+        points on replay.
+        """
+        self._fh.write(
+            format_delete_before(DeleteBefore(int(cutoff), exclude_suffix)) + "\n"
+        )
+        self.flush()
+
     def comment(self, text: str) -> None:
         for line in text.splitlines() or [""]:
             self._fh.write(f"# {line}\n")
@@ -118,10 +202,10 @@ class LogWriter:
         self.close()
 
 
-def iter_log(
+def iter_entries(
     source: str | os.PathLike[str] | TextIO, *, strict: bool = True
-) -> Iterator[DataPoint]:
-    """Yield points from a log file or open text handle.
+) -> Iterator[DataPoint | DeleteBefore]:
+    """Yield points and control markers from a log, in file order.
 
     With ``strict=False`` corrupt lines are skipped instead of raising —
     the recovery path after an unclean shutdown that truncated the tail.
@@ -135,53 +219,85 @@ def iter_log(
     try:
         for lineno, line in enumerate(fh, start=1):
             try:
-                point = parse_line(line, lineno)
+                entry = parse_entry(line, lineno)
             except LogCorruption:
                 if strict:
                     raise
                 continue
-            if point is not None:
-                yield point
+            if entry is not None:
+                yield entry
     finally:
         if owns:
             fh.close()
 
 
-def load(source: str | os.PathLike[str] | TextIO, *, strict: bool = True) -> TSDB:
-    """Replay a log into a fresh database (chunked columnar batches)."""
-    db = TSDB()
-    db.put_many(iter_log(source, strict=strict))
+def iter_log(
+    source: str | os.PathLike[str] | TextIO, *, strict: bool = True
+) -> Iterator[DataPoint]:
+    """Yield only the data points of a log (control markers skipped)."""
+    for entry in iter_entries(source, strict=strict):
+        if isinstance(entry, DataPoint):
+            yield entry
+
+
+#: ``load`` flushes its batch builder at this size (bounded memory).
+_LOAD_CHUNK = 65_536
+
+
+def load(
+    source: str | os.PathLike[str] | TextIO,
+    *,
+    strict: bool = True,
+    into: "TimeSeriesStore | None" = None,
+) -> "TimeSeriesStore":
+    """Replay a log into a store (chunked columnar batches).
+
+    Points accumulate in a :class:`BatchBuilder`; a ``!delete_before``
+    marker forces a flush and then applies the deletion, so replay
+    interleaves batch blocks and retention exactly as the live process
+    did — including the index pruning of series the deletion emptied.
+    ``into`` defaults to a fresh single-store :class:`TSDB`; pass any
+    store (e.g. a :class:`~repro.tsdb.sharded.ShardedTSDB`) to replay
+    into it.
+    """
+    db: "TimeSeriesStore" = into if into is not None else TSDB()
+    builder = BatchBuilder()
+    for entry in iter_entries(source, strict=strict):
+        if isinstance(entry, DeleteBefore):
+            db.put_batch(builder.build())
+            db.delete_before(entry.cutoff, exclude_suffix=entry.exclude_suffix)
+        else:
+            builder.add_point(entry)
+            if len(builder) >= _LOAD_CHUNK:
+                db.put_batch(builder.build())
+    db.put_batch(builder.build())
     return db
 
 
-def snapshot(db: TSDB, path: str | os.PathLike[str]) -> int:
-    """Write the whole database as a sorted, deduplicated log.
+def snapshot(db: "TimeSeriesStore", path: str | os.PathLike[str]) -> int:
+    """Write a whole store as a sorted, deduplicated log.
 
     Returns the number of points written.  Snapshots are normal logs, so
     ``load`` restores them; they are smaller than the raw WAL because
-    overwritten duplicates are gone.
+    overwritten duplicates are gone.  Works on any store — the iteration
+    order is canonical (metric, then key), so a sharded store snapshots
+    byte-identically to a single store with the same contents.
     """
     n = 0
     with open(path, "w", encoding="utf-8") as fh:
         writer = LogWriter(fh)
         writer.comment("repro.tsdb snapshot")
-        for metric in db.metrics():
-            for key in db.series_for_metric(metric):
-                sl = db._stores[key].scan()
-                for ts, val in zip(sl.timestamps.tolist(), sl.values.tolist()):
-                    writer.write(DataPoint(key, int(ts), float(val)))
-                    n += 1
+        for point in db.iter_points():
+            writer.write(point)
+            n += 1
         writer.flush()
     return n
 
 
-def dumps(db: TSDB) -> str:
+def dumps(db: "TimeSeriesStore") -> str:
     """Snapshot to a string (round-trips through ``load``)."""
     buf = io.StringIO()
     writer = LogWriter(buf)
-    for metric in db.metrics():
-        for key in db.series_for_metric(metric):
-            sl = db._stores[key].scan()
-            for ts, val in zip(sl.timestamps.tolist(), sl.values.tolist()):
-                writer.write(DataPoint(key, int(ts), float(val)))
+    for point in db.iter_points():
+        writer.write(point)
     return buf.getvalue()

@@ -9,10 +9,13 @@ dashboards stay cheap.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from .database import TSDB
 from .downsample import Downsample, apply as apply_downsample
 from .model import SeriesKey
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .interface import TimeSeriesStore
 
 
 @dataclass(frozen=True)
@@ -42,7 +45,7 @@ class RetentionPolicy:
         if self.raw_max_age <= 0:
             raise ValueError("raw_max_age must be positive")
 
-    def enforce(self, db: TSDB, now: int) -> RolledUp:
+    def enforce(self, db: "TimeSeriesStore", now: int) -> RolledUp:
         """Apply the policy; returns what was rolled and dropped."""
         cutoff = now - self.raw_max_age
         rolled = 0
@@ -53,7 +56,7 @@ class RetentionPolicy:
         dropped = db.delete_before(cutoff, exclude_suffix=exclude)
         return RolledUp(dropped_points=dropped, rolled_points=rolled, cutoff=cutoff)
 
-    def _roll_old_points(self, db: TSDB, cutoff: int) -> int:
+    def _roll_old_points(self, db: "TimeSeriesStore", cutoff: int) -> int:
         assert self.rollup is not None
         rolled = 0
         # Materialize the key list first: we add rollup series while iterating.
@@ -61,10 +64,7 @@ class RetentionPolicy:
             if metric.endswith(self.rollup_suffix):
                 continue  # never roll a rollup
             for key in list(db.series_for_metric(metric)):
-                store = db._stores.get(key)
-                if store is None:
-                    continue
-                old = store.scan(end=cutoff - 1)
+                old = db.series_slice(key, end=cutoff - 1)
                 if len(old) == 0:
                     continue
                 buckets = apply_downsample(old, self.rollup)

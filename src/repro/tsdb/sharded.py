@@ -1,0 +1,304 @@
+"""Sharded TSDB engine: N independent stores behind one interface.
+
+Scaling past a single in-process store means partitioning: series keys
+hash-route to one of N independent :class:`~repro.tsdb.database.TSDB`
+shards, writes land shard-local (the columnar batch regroups per series
+via :meth:`~repro.tsdb.batch.PointBatch.by_series`, so each shard sees
+one `extend_batch` per touched series), and reads fan out to the owning
+shards before merging.
+
+Semantics are pinned to the single store: a series lives entirely in
+exactly one shard, every query runs through the same
+:func:`~repro.tsdb.database.execute_query` plan over the fanned-out
+scans, and the cross-series merge is the same sorted timestamp union —
+so query, aggregation, downsample, and retention results are
+byte-identical for any shard count (the equivalence suite in
+``tests/test_tsdb_sharded.py`` enforces this for n ∈ {1, 2, 4, 7}).
+
+Routing uses CRC-32 of the canonical key string: stable across
+processes and Python's per-run hash randomization, which is what lets a
+snapshot taken by one process be restored shard-by-shard in another.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from pathlib import Path
+from typing import Mapping
+
+from . import persistence
+from .batch import PointBatch
+from .database import TSDB, execute_query
+from .interface import StoreApi
+from .model import DataPoint, SeriesKey, validate_name
+from .query import Query, QueryResult
+from .series import SeriesSlice
+
+
+def shard_for_key(key: SeriesKey, num_shards: int) -> int:
+    """Owning shard of a series: stable hash of the canonical key string.
+
+    Pure function of ``(key, num_shards)`` — independent of insertion
+    order, process, and run — so routing never drifts between a writer,
+    a restored snapshot, and a reader.
+    """
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    return zlib.crc32(str(key).encode("utf-8")) % num_shards
+
+
+#: Per-shard snapshot files: ``shard-<i>-of-<n>.log`` inside a directory.
+_SHARD_FILE_RE = re.compile(r"^shard-(\d+)-of-(\d+)\.log$")
+
+
+class ShardedTSDB(StoreApi):
+    """Hash-partitioned store satisfying the same interface as :class:`TSDB`.
+
+    Drop-in for every consumer of
+    :class:`~repro.tsdb.interface.TimeSeriesStore` — the dataport's
+    ``BatchingTsdbWriter``, persistence ``snapshot``/``dumps``/``load``,
+    ``RetentionPolicy``, dashboards and analytics.  Writes route per
+    series; queries fan out and k-way merge per-series slices through
+    the shared execution plan.
+    """
+
+    def __init__(self, num_shards: int = 4) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self._shards: tuple[TSDB, ...] = tuple(TSDB() for _ in range(num_shards))
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> tuple[TSDB, ...]:
+        """The underlying per-shard stores (read-mostly; owned by us)."""
+        return self._shards
+
+    def shard_of(self, key: SeriesKey) -> int:
+        """Index of the shard owning ``key``."""
+        return shard_for_key(key, len(self._shards))
+
+    def shard_for(self, metric: str, tags: Mapping[str, str] | None = None) -> int:
+        """Owning shard for a (metric, tags) combination."""
+        return self.shard_of(SeriesKey.make(metric, tags))
+
+    # ------------------------------------------------------------------
+    # Writes (route per series)
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        metric: str,
+        timestamp: int,
+        value: float,
+        tags: Mapping[str, str] | None = None,
+    ) -> SeriesKey:
+        key = SeriesKey.make(metric, tags)
+        return self._shards[self.shard_of(key)].put_point(
+            DataPoint(key, int(timestamp), float(value))
+        )
+
+    def put_point(self, point: DataPoint) -> SeriesKey:
+        return self._shards[self.shard_of(point.key)].put_point(point)
+
+    def put_batch(self, batch: PointBatch) -> int:
+        """Route a columnar batch: one shard-local column write per series.
+
+        ``by_series`` preserves row order inside each series, so the
+        single-store last-write-wins semantics survive the fan-out.
+        """
+        for key, ts, vals in batch.by_series():
+            self._shards[self.shard_of(key)].put_column(key, ts, vals)
+        return len(batch)
+
+    def put_series(
+        self,
+        metric: str,
+        timestamps,
+        values,
+        tags: Mapping[str, str] | None = None,
+    ) -> SeriesKey:
+        batch = PointBatch.for_series(metric, timestamps, values, tags)
+        self.put_batch(batch)
+        return batch.keys[0]
+
+    # put_many comes from StoreApi (chunked builder → put_batch).
+
+    # ------------------------------------------------------------------
+    # Introspection (union over shards)
+    # ------------------------------------------------------------------
+    @property
+    def series_count(self) -> int:
+        return sum(sh.series_count for sh in self._shards)
+
+    @property
+    def point_count(self) -> int:
+        return sum(sh.point_count for sh in self._shards)
+
+    def exact_point_count(self) -> int:
+        return sum(sh.exact_point_count() for sh in self._shards)
+
+    @property
+    def write_count(self) -> int:
+        return sum(sh.write_count for sh in self._shards)
+
+    def metrics(self) -> list[str]:
+        names: set[str] = set()
+        for sh in self._shards:
+            names.update(sh.metrics())
+        return sorted(names)
+
+    def series_for_metric(self, metric: str) -> list[SeriesKey]:
+        keys: list[SeriesKey] = []
+        for sh in self._shards:
+            keys.extend(sh.series_for_metric(metric))
+        return sorted(keys, key=str)
+
+    def suggest_tag_values(self, metric: str, tag_key: str) -> list[str]:
+        validate_name(tag_key, "tag key")
+        values: set[str] = set()
+        for sh in self._shards:
+            values.update(sh.suggest_tag_values(metric, tag_key))
+        return sorted(values)
+
+    def last(
+        self, metric: str, tags: Mapping[str, str] | None = None
+    ) -> dict[SeriesKey, tuple[int, float]]:
+        out: dict[SeriesKey, tuple[int, float]] = {}
+        for sh in self._shards:
+            out.update(sh.last(metric, tags))  # key sets are disjoint
+        return out
+
+    # ------------------------------------------------------------------
+    # Queries (fan out, then merge through the shared plan)
+    # ------------------------------------------------------------------
+    def run(self, query: Query) -> QueryResult:
+        """Fan the scan out to owning shards, merge centrally.
+
+        Each shard matches and scans only its own series (the
+        parallelizable part); the coordinator then runs the shared
+        group/aggregate/downsample plan over the gathered slices, whose
+        sorted-timestamp union is the k-way merge step.
+        """
+        slices: dict[SeriesKey, SeriesSlice] = {}
+        for sh in self._shards:
+            for key in sh._match(query.metric, query.tags):
+                slices[key] = sh._stores[key].scan(query.start, query.end)
+        return execute_query(query, list(slices), slices.__getitem__)
+
+    def series_slice(
+        self, key: SeriesKey, start: int | None = None, end: int | None = None
+    ) -> SeriesSlice:
+        return self._shards[self.shard_of(key)].series_slice(key, start, end)
+
+    # ------------------------------------------------------------------
+    # Maintenance (fan out)
+    # ------------------------------------------------------------------
+    def delete_before(
+        self, cutoff: int, *, exclude_suffix: str | None = None
+    ) -> int:
+        return sum(
+            sh.delete_before(cutoff, exclude_suffix=exclude_suffix)
+            for sh in self._shards
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence (one snapshot file per shard)
+    # ------------------------------------------------------------------
+    def snapshot_to_dir(self, directory: str | Path) -> int:
+        """Snapshot every shard into ``<dir>/shard-<i>-of-<n>.log``.
+
+        Shards snapshot independently (each file is a normal line-protocol
+        log), so at scale they could stream in parallel to different
+        volumes.  Returns total points written.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        n = len(self._shards)
+        total = 0
+        for i, sh in enumerate(self._shards):
+            total += persistence.snapshot(sh, directory / f"shard-{i}-of-{n}.log")
+        return total
+
+    @classmethod
+    def restore_from_dir(cls, directory: str | Path) -> "ShardedTSDB":
+        """Rebuild a sharded store from :meth:`snapshot_to_dir` output.
+
+        The shard count comes from the file names; every restored series
+        is verified to hash-route to the shard it was found in, so a
+        renamed or misplaced file fails loudly instead of silently
+        corrupting routing.
+        """
+        directory = Path(directory)
+        files: dict[int, Path] = {}
+        counts: set[int] = set()
+        for path in directory.iterdir():
+            m = _SHARD_FILE_RE.match(path.name)
+            if m is None:
+                continue
+            files[int(m.group(1))] = path
+            counts.add(int(m.group(2)))
+        if not files:
+            raise FileNotFoundError(f"no shard-*.log snapshot files in {directory}")
+        if len(counts) != 1:
+            raise ValueError(f"inconsistent shard counts in {directory}: {counts}")
+        (n,) = counts
+        if sorted(files) != list(range(n)):
+            missing = sorted(set(range(n)) - set(files))
+            raise ValueError(f"snapshot in {directory} is missing shards {missing}")
+        db = cls(n)
+        for i in range(n):
+            persistence.load(files[i], into=db._shards[i])
+            for key in db._shards[i]._stores:
+                if shard_for_key(key, n) != i:
+                    raise ValueError(
+                        f"series {key} found in shard {i} but routes to "
+                        f"shard {shard_for_key(key, n)}; snapshot files moved?"
+                    )
+        return db
+
+    # ------------------------------------------------------------------
+    # Internals shared with the single store's callers
+    # ------------------------------------------------------------------
+    def _match(self, metric: str, tags: Mapping[str, str]) -> list[SeriesKey]:
+        matched: list[SeriesKey] = []
+        for sh in self._shards:
+            matched.extend(sh._match(metric, tags))
+        return matched
+
+    def __repr__(self) -> str:
+        per_shard = ",".join(str(sh.series_count) for sh in self._shards)
+        return f"ShardedTSDB(num_shards={len(self._shards)}, series=[{per_shard}])"
+
+
+def scatter_batch(batch: PointBatch, num_shards: int) -> list[PointBatch]:
+    """Split one batch into per-shard batches (routing preview/debug aid).
+
+    ``put_batch`` routes columns directly and never materializes these;
+    this helper exists for callers that ship batches to remote shards.
+    """
+    builders: dict[int, list] = {}
+    for key, ts, vals in batch.by_series():
+        builders.setdefault(shard_for_key(key, num_shards), []).append(
+            (key, ts, vals)
+        )
+    out: list[PointBatch] = []
+    for i in range(num_shards):
+        parts = builders.get(i)
+        if not parts:
+            out.append(PointBatch.empty())
+            continue
+        out.append(
+            PointBatch.concat(
+                [
+                    PointBatch.for_series(key.metric, ts, vals, key.tag_dict())
+                    for key, ts, vals in parts
+                ]
+            )
+        )
+    return out

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..analytics.aqi import caqi
-from ..tsdb import Query, TSDB
+from ..tsdb import Query, TimeSeriesStore
 from .render import horizontal_bar, value_color
 from .timeseries import Chart
 
@@ -28,14 +28,14 @@ class TimeseriesPanel:
     title: str
     query: Query
 
-    def render_text(self, db: TSDB, width: int = 72) -> str:
+    def render_text(self, db: TimeSeriesStore, width: int = 72) -> str:
         chart = Chart(self.title, width=width)
         result = db.run(self.query)
         for series in result:
             chart.add_result(series)
         return chart.render_text()
 
-    def render_html(self, db: TSDB) -> str:
+    def render_html(self, db: TimeSeriesStore) -> str:
         chart = Chart(self.title)
         for series in db.run(self.query):
             chart.add_result(series)
@@ -52,7 +52,7 @@ class GaugePanel:
     vmax: float | None = None
     unit: str = ""
 
-    def _rows(self, db: TSDB) -> list[tuple[str, float]]:
+    def _rows(self, db: TimeSeriesStore) -> list[tuple[str, float]]:
         latest = db.last(self.metric, self.tags)
         rows = []
         for key, (ts, value) in sorted(latest.items(), key=lambda kv: str(kv[0])):
@@ -60,7 +60,7 @@ class GaugePanel:
             rows.append((label, value))
         return rows
 
-    def render_text(self, db: TSDB, width: int = 72) -> str:
+    def render_text(self, db: TimeSeriesStore, width: int = 72) -> str:
         rows = self._rows(db)
         vmax = self.vmax or (max((v for _, v in rows), default=1.0) or 1.0)
         lines = [f"== {self.title} =="]
@@ -71,7 +71,7 @@ class GaugePanel:
             lines.append(f"  {label:<12} {bar} {value:8.1f} {self.unit}")
         return "\n".join(lines)
 
-    def render_html(self, db: TSDB) -> str:
+    def render_html(self, db: TimeSeriesStore) -> str:
         rows = self._rows(db)
         vmax = self.vmax or (max((v for _, v in rows), default=1.0) or 1.0)
         cells = "".join(
@@ -96,7 +96,7 @@ class AqiPanel:
         "pm25_ugm3": "air.pm25.ugm3",
     }
 
-    def compute(self, db: TSDB) -> dict[str, dict]:
+    def compute(self, db: TimeSeriesStore) -> dict[str, dict]:
         tags = {"city": self.city} if self.city else {}
         per_node: dict[str, dict[str, float]] = {}
         for quantity, metric in self._METRICS.items():
@@ -116,7 +116,7 @@ class AqiPanel:
             }
         return out
 
-    def render_text(self, db: TSDB, width: int = 72) -> str:
+    def render_text(self, db: TimeSeriesStore, width: int = 72) -> str:
         lines = [f"== {self.title} =="]
         tiles = self.compute(db)
         if not tiles:
@@ -128,7 +128,7 @@ class AqiPanel:
             )
         return "\n".join(lines)
 
-    def render_html(self, db: TSDB) -> str:
+    def render_html(self, db: TimeSeriesStore) -> str:
         tiles = self.compute(db)
         cells = "".join(
             f'<div class="tile {info["band"]}"><b>{node}</b> '
@@ -143,12 +143,12 @@ class TextPanel:
     """Free-form analytic output (a callable returning text)."""
 
     title: str
-    producer: Callable[[TSDB], str]
+    producer: Callable[[TimeSeriesStore], str]
 
-    def render_text(self, db: TSDB, width: int = 72) -> str:
+    def render_text(self, db: TimeSeriesStore, width: int = 72) -> str:
         return f"== {self.title} ==\n{self.producer(db)}"
 
-    def render_html(self, db: TSDB) -> str:
+    def render_html(self, db: TimeSeriesStore) -> str:
         return (
             f'<div class="panel"><h3>{self.title}</h3>'
             f"<pre>{self.producer(db)}</pre></div>"
@@ -163,7 +163,7 @@ class Dashboard:
     """A named collection of panels over one TSDB."""
 
     title: str
-    db: TSDB
+    db: TimeSeriesStore
     panels: list[Panel] = field(default_factory=list)
 
     def add(self, panel: Panel) -> "Dashboard":

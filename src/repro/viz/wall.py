@@ -8,7 +8,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..dataport import AlarmLog, Severity
-from ..tsdb import TSDB
+from ..tsdb import TimeSeriesStore
 from .dashboard import Dashboard
 from .network_map import render_text_map
 
@@ -36,7 +36,7 @@ class WallDisplay:
     """Composite view: network map + alarms + data dashboards."""
 
     title: str
-    db: TSDB
+    db: TimeSeriesStore
     alarms: AlarmLog
     snapshot_provider: object  # callable -> network snapshot dict
     dashboards: list[Dashboard] = field(default_factory=list)

@@ -6,16 +6,21 @@ import pytest
 
 from repro.tsdb import (
     DataPoint,
+    DeleteBefore,
     Downsample,
     LogCorruption,
     LogWriter,
     Query,
     RetentionPolicy,
+    ShardedTSDB,
     TSDB,
     dumps,
+    format_delete_before,
     format_point,
+    iter_entries,
     iter_log,
     load,
+    parse_entry,
     parse_line,
     snapshot,
 )
@@ -130,6 +135,133 @@ class TestSnapshot:
         text = dumps(db)
         restored = load(io.StringIO(text))
         assert restored.point_count == 1
+
+
+class TestDeleteBeforeMarkers:
+    """Replay of logs where retention markers interleave with batch
+    blocks — the seed suite never exercised this, and it is exactly the
+    path that depends on the index pruning of ``TSDB.delete_before``
+    (dead series must not leave ``_by_metric``/``_by_tag`` entries
+    behind when a restore re-applies retention)."""
+
+    def test_marker_round_trip(self):
+        for marker in (DeleteBefore(500), DeleteBefore(500, ".rollup")):
+            assert parse_entry(format_delete_before(marker)) == marker
+
+    def test_marker_parse_errors(self):
+        for bad in (
+            "!delete_after 5",
+            "!delete_before",
+            "!delete_before xx",
+            "!delete_before 5 6 7",
+            "!delete_before 5 keep=.rollup",
+            "!delete_before 5 exclude=",
+        ):
+            with pytest.raises(LogCorruption):
+                parse_entry(bad, lineno=3)
+
+    def test_writer_emits_replayable_marker(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with LogWriter(path) as w:
+            w.write(make_point(ts=1))
+            w.write(make_point(ts=2))
+            w.delete_before(2)
+        entries = list(iter_entries(path))
+        assert entries[-1] == DeleteBefore(2)
+        assert w.written == 2  # markers are not points
+        assert load(path).exact_point_count() == 1
+
+    def test_replay_interleaved_batches_and_markers(self, tmp_path):
+        """Log = batch block · marker · batch block · marker: the replay
+        must apply each deletion at its position in the stream, so
+        points re-written *after* a marker survive it."""
+        path = tmp_path / "wal.log"
+        with LogWriter(path) as w:
+            # batch block 1: two series, out of order
+            w.write_many(
+                [
+                    make_point("m.a", ts, float(ts), {"node": "a"})
+                    for ts in (30, 10, 20)
+                ]
+            )
+            w.write_many([make_point("m.b", ts, 1.0, {"node": "b"}) for ts in (5, 15)])
+            w.delete_before(20)  # drops every point with ts < 20
+            # batch block 2: m.a gets older data back-filled post-marker
+            w.write_many([make_point("m.a", 12, 99.0, {"node": "a"})])
+            w.delete_before(11)
+        db = load(path)
+        # Live-process reference: same operations applied directly.
+        ref = TSDB()
+        for ts in (30, 10, 20):
+            ref.put("m.a", ts, float(ts), {"node": "a"})
+        for ts in (5, 15):
+            ref.put("m.b", ts, 1.0, {"node": "b"})
+        ref.delete_before(20)
+        ref.put("m.a", 12, 99.0, {"node": "a"})
+        ref.delete_before(11)
+        assert dumps(db) == dumps(ref)
+        sl = db.run(Query("m.a", 0, 100)).single()
+        assert sl.timestamps.tolist() == [12, 20, 30]
+        assert sl.values.tolist() == [99.0, 20.0, 30.0]
+
+    def test_replay_prunes_emptied_series_from_indexes(self, tmp_path):
+        """Guards the PR 1 index-prune fix under restore: a series fully
+        deleted by a marker must vanish from the metric and tag indexes
+        of the replayed database, not just lose its points."""
+        path = tmp_path / "wal.log"
+        with LogWriter(path) as w:
+            w.write_many([make_point("dead.metric", ts, 1.0, {"node": "x"}) for ts in (1, 2)])
+            w.write_many([make_point("live.metric", ts, 2.0, {"node": "y"}) for ts in (1, 200)])
+            w.delete_before(100)
+        db = load(path)
+        assert db.metrics() == ["live.metric"]
+        assert db.suggest_tag_values("dead.metric", "node") == []
+        assert db.series_count == 1
+        # The pruned state round-trips: snapshot of the replay is clean.
+        assert "dead.metric" not in dumps(db)
+
+    def test_replay_marker_exclude_suffix(self, tmp_path):
+        """Rollup series named in the marker's exclude= survive replayed
+        retention, exactly as in the live RetentionPolicy pass."""
+        path = tmp_path / "wal.log"
+        with LogWriter(path) as w:
+            w.write_many([make_point("m.raw", ts, 1.0) for ts in (10, 20)])
+            w.write_many([make_point("m.raw.rollup", 0, 1.5)])
+            w.delete_before(1_000, exclude_suffix=".rollup")
+        db = load(path)
+        assert db.metrics() == ["m.raw.rollup"]
+
+    def test_replay_into_sharded_store(self, tmp_path):
+        """The same marker log replays identically into a sharded store
+        (retention fans out, index pruning happens per shard)."""
+        path = tmp_path / "wal.log"
+        with LogWriter(path) as w:
+            for i in range(40):
+                w.write(make_point(f"m.{i % 5}", i, float(i), {"node": f"n{i % 3}"}))
+            w.delete_before(25)
+            for i in range(10):
+                w.write(make_point(f"m.{i % 5}", 100 + i, float(i), {"node": "n9"}))
+        single = load(path)
+        sharded = load(path, into=ShardedTSDB(3))
+        assert dumps(sharded) == dumps(single)
+        assert sharded.metrics() == single.metrics()
+
+    def test_iter_log_still_yields_only_points(self, tmp_path):
+        """Back-compat: point-level consumers skip markers silently."""
+        path = tmp_path / "wal.log"
+        with LogWriter(path) as w:
+            w.write(make_point(ts=1))
+            w.delete_before(5)
+            w.write(make_point(ts=9))
+        assert [p.timestamp for p in iter_log(path)] == [1, 9]
+
+    def test_lenient_mode_skips_corrupt_markers(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_text("m 1 2.0\n!delete_before notanumber\nm 9 3.0\n")
+        with pytest.raises(LogCorruption):
+            load(path)
+        db = load(path, strict=False)
+        assert db.exact_point_count() == 2
 
 
 class TestRetention:
