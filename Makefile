@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-sharded bench bench-sharded lint
+.PHONY: test test-sharded test-region bench bench-sharded bench-region lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -10,11 +10,19 @@ test:
 test-sharded:
 	$(PYTHON) -m pytest -q tests/test_tsdb_sharded.py
 
+# The fan-in gate: queue invariants + N-city/merged-dataport equivalence.
+test-region:
+	$(PYTHON) -m pytest -q tests/test_region_queue.py tests/test_region_hub.py
+
 bench:
 	$(PYTHON) -m pytest -q benchmarks/test_ingest_throughput.py -s
 
 bench-sharded:
 	$(PYTHON) -m pytest -q benchmarks/test_ingest_throughput.py -k sharded -s
+
+# 1/2/4-city fan-in throughput, recorded into BENCH_ingest.json.
+bench-region:
+	$(PYTHON) -m pytest -q benchmarks/test_region_fanin.py -s
 
 lint:
 	$(PYTHON) -m ruff check src/

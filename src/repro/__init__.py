@@ -27,6 +27,7 @@ from . import (  # noqa: F401
     integration,
     lorawan,
     mqtt,
+    region,
     sensors,
     simclock,
     streams,
@@ -42,6 +43,7 @@ __all__ = [
     "integration",
     "lorawan",
     "mqtt",
+    "region",
     "sensors",
     "simclock",
     "streams",

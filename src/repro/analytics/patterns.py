@@ -30,17 +30,19 @@ class WeeklyProfile:
 def weekly_profile(values: np.ndarray, timestamps: np.ndarray) -> WeeklyProfile:
     v = np.asarray(values, dtype=float)
     ts = np.asarray(timestamps, dtype=np.int64)
-    matrix = np.full((7, 24), np.nan)
     # Epoch (1970-01-01) was a Thursday = ISO weekday 3.
     dow = ((ts // 86400) + 3) % 7
     hod = (ts % 86400) // 3600
-    for d in range(7):
-        for h in range(24):
-            bucket = v[(dow == d) & (hod == h)]
-            bucket = bucket[np.isfinite(bucket)]
-            if bucket.size:
-                matrix[d, h] = bucket.mean()
-    return WeeklyProfile(matrix)
+    # One bincount per statistic instead of 168 boolean-mask scans: each
+    # sample lands in its (day, hour) cell index in a single pass.
+    cell = (dow * 24 + hod).astype(np.intp)
+    finite = np.isfinite(v)
+    sums = np.bincount(cell[finite], weights=v[finite], minlength=168)
+    counts = np.bincount(cell[finite], minlength=168)
+    matrix = np.full(168, np.nan)
+    occupied = counts > 0
+    matrix[occupied] = sums[occupied] / counts[occupied]
+    return WeeklyProfile(matrix.reshape(7, 24))
 
 
 @dataclass(frozen=True)
@@ -93,13 +95,14 @@ def anomalous_days(
     v = np.asarray(values, dtype=float)
     ts = np.asarray(timestamps, dtype=np.int64)
     day_keys = ts // 86400
-    days = np.unique(day_keys)
-    means = []
-    for d in days:
-        bucket = v[day_keys == d]
-        bucket = bucket[np.isfinite(bucket)]
-        means.append(bucket.mean() if bucket.size else np.nan)
-    means_arr = np.asarray(means)
+    # Daily means via one inverse-index bincount pass (no per-day scans).
+    days, inverse = np.unique(day_keys, return_inverse=True)
+    finite = np.isfinite(v)
+    sums = np.bincount(inverse[finite], weights=v[finite], minlength=days.size)
+    counts = np.bincount(inverse[finite], minlength=days.size)
+    means_arr = np.full(days.size, np.nan)
+    occupied = counts > 0
+    means_arr[occupied] = sums[occupied] / counts[occupied]
     finite = means_arr[np.isfinite(means_arr)]
     if finite.size < 3:
         return []

@@ -24,6 +24,7 @@ from .core import (
     vejle_deployment,
 )
 from .integration import render_table1
+from .region import Backpressure, CityPolicy
 from .simclock import HOUR
 
 
@@ -48,12 +49,79 @@ def _build(
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.cities:
+        return _run_region(args)
     eco, city = _build(args.city, args.hours, args.seed, args.shards)
     stats = city.delivery_stats()
     store = f"sharded tsdb ({args.shards} shards)" if args.shards else "tsdb"
     print(f"{args.city}: {args.hours} simulated hour(s), store: {store}")
     for key, value in stats.items():
         print(f"  {key:>22}: {value}")
+    return 0
+
+
+def _run_region(args: argparse.Namespace) -> int:
+    """Multi-city fan-in run: N dataports → RegionalHub → one store."""
+    import contextlib
+    import tempfile
+
+    names = [c.strip() for c in args.cities.split(",") if c.strip()]
+    if len(names) != len(set(names)):
+        raise SystemExit("--cities must not repeat a city")
+    with contextlib.ExitStack() as stack:
+        spill_dir = None
+        if args.backpressure == Backpressure.SPILL.value:
+            spill_dir = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-region-spill-")
+            )
+        return _run_region_inner(args, names, spill_dir)
+
+
+def _run_region_inner(args, names: list[str], spill_dir: str | None) -> int:
+    policies = tuple(
+        CityPolicy(
+            name,
+            queue_capacity=args.queue_depth,
+            backpressure=args.backpressure,
+        )
+        for name in names
+    )
+    eco = CttEcosystem(
+        [_deployment(name) for name in names],
+        config=EcosystemConfig(
+            seed=args.seed,
+            tsdb_shards=args.shards,
+            cities=policies,
+            region_spill_dir=spill_dir,
+        ),
+    )
+    eco.start()
+    eco.run(args.hours * HOUR)
+    eco.flush_region()
+    store = f"sharded tsdb ({args.shards} shards)" if args.shards else "tsdb"
+    print(
+        f"regional fan-in: {len(names)} cities, {args.hours} simulated "
+        f"hour(s), store: {store}, backpressure: {args.backpressure}, "
+        f"queue depth: {args.queue_depth}"
+    )
+    for name in names:
+        stats = eco.city(name).delivery_stats()
+        lane = eco.hub.city_stats(name)
+        print(f"  [{name}]")
+        for key in ("transmissions", "processed_dataport", "points_written"):
+            print(f"    {key:>22}: {stats[key]}")
+        for key in (
+            "accepted_points",
+            "dropped_points",
+            "spilled_points",
+            "flushed_points",
+            "high_watermark",
+            "refused_offers",
+        ):
+            print(f"    {key:>22}: {lane[key]}")
+    hub = eco.hub.stats_snapshot()["hub"]
+    print(f"  hub: {hub['flushed_points']} points over {hub['flushes']} flushes "
+          f"({hub['ticks']} ticks)")
     return 0
 
 
@@ -110,6 +178,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="simulate and print pipeline stats")
     common(p_run)
+    p_run.add_argument(
+        "--cities", default=None, metavar="A,B",
+        help="comma-separated cities fanned into one RegionalHub "
+             "(overrides --city)")
+    p_run.add_argument(
+        "--queue-depth", type=int, default=50_000, metavar="POINTS",
+        help="per-city fan-in queue capacity in points (with --cities)")
+    p_run.add_argument(
+        "--backpressure", default="block",
+        choices=tuple(p.value for p in Backpressure),
+        help="full-queue policy for the fan-in lanes (with --cities)")
     p_run.set_defaults(func=cmd_run)
 
     p_dash = sub.add_parser("dashboard", help="render the air-quality dashboard")

@@ -32,6 +32,7 @@ from ..integration import (
 )
 from ..lorawan import Gateway, LoraDevice, NetworkServer, PropagationModel, RadioPlane
 from ..mqtt import Broker
+from ..region import CityIngress, CityPolicy, RegionalHub
 from ..sensors import (
     BatteryAdaptive,
     PollutionInjection,
@@ -60,12 +61,34 @@ class EcosystemConfig:
     watchdog_interval_s: int = 60
     #: Number of TSDB shards; 0 keeps the single in-process store.
     tsdb_shards: int = 0
+    #: Per-city fan-in policies.  Non-empty routes every dataport's hop-5
+    #: writes through a :class:`~repro.region.RegionalHub` (bounded
+    #: queues + backpressure) instead of straight into the store;
+    #: deployments without a matching policy get the defaults.
+    cities: tuple[CityPolicy, ...] = ()
+    #: How often (sim seconds) the hub drains city queues into the store.
+    region_flush_interval_s: int = 60
+    #: Directory for spill-to-disk backpressure segments (required only
+    #: when a city policy uses ``Backpressure.SPILL``).
+    region_spill_dir: str | None = None
 
     def build_store(self) -> TimeSeriesStore:
         """The shared measurement store this config calls for."""
         if self.tsdb_shards > 0:
             return ShardedTSDB(self.tsdb_shards)
         return TSDB()
+
+    @property
+    def regional(self) -> bool:
+        """True when ingestion fans in through a RegionalHub."""
+        return bool(self.cities)
+
+    def city_policy(self, city: str) -> CityPolicy:
+        """The configured policy for a city, or the defaults."""
+        for policy in self.cities:
+            if policy.city == city:
+                return policy
+        return CityPolicy(city)
 
 
 class CityEcosystem:
@@ -77,10 +100,16 @@ class CityEcosystem:
         scheduler: Scheduler,
         db: TimeSeriesStore,
         config: EcosystemConfig | None = None,
+        *,
+        ingest: CityIngress | None = None,
     ) -> None:
         self.deployment = deployment
         self.scheduler = scheduler
         self.db = db
+        #: Hop-5 write endpoint: the regional fan-in lane when this city
+        #: sits behind a RegionalHub, else the store itself.  Reads
+        #: (dashboards, `last`, analytics) always go to ``db``.
+        self.ingest = ingest
         self.config = config or EcosystemConfig()
         seed = self.config.seed
 
@@ -108,7 +137,10 @@ class CityEcosystem:
         self.broker = Broker(np.random.default_rng([seed, 2]))
         self.bridge = TtnMqttBridge(self.network_server, self.broker, deployment.city)
         self.dataport = Dataport(
-            self.broker, db, scheduler, config=self.config.twin_config
+            self.broker,
+            ingest if ingest is not None else db,
+            scheduler,
+            config=self.config.twin_config,
         )
         for gw in deployment.gateways:
             self.dataport.register_gateway(
@@ -290,19 +322,52 @@ class CttEcosystem:
         )
         self.config = config or EcosystemConfig()
         self.db = self.config.build_store()
+        #: The regional fan-in hub; None when dataports write directly.
+        self.hub: RegionalHub | None = None
+        if self.config.regional:
+            self.hub = RegionalHub(
+                self.db,
+                self.scheduler,
+                flush_interval_s=self.config.region_flush_interval_s,
+                spill_dir=self.config.region_spill_dir,
+            )
         self.cities: dict[str, CityEcosystem] = {}
+        # A policy naming no deployment is a config error (typo'd city),
+        # not a silent fall-back to defaults.
+        deployed = {d.city for d in deployments}
+        unmatched = [p.city for p in self.config.cities if p.city not in deployed]
+        if unmatched:
+            raise ValueError(
+                f"city policies for undeployed cities: {unmatched}; "
+                f"deployments are {sorted(deployed)}"
+            )
         for deployment in deployments:
+            ingest = None
+            if self.hub is not None:
+                ingest = self.hub.register_city(
+                    self.config.city_policy(deployment.city)
+                )
             self.cities[deployment.city] = CityEcosystem(
-                deployment, self.scheduler, self.db, self.config
+                deployment, self.scheduler, self.db, self.config, ingest=ingest
             )
 
     def start(self) -> None:
         for city in self.cities.values():
             city.start()
+        if self.hub is not None:
+            self.hub.start()
 
     def run(self, seconds: int) -> None:
         """Advance the whole simulation."""
         self.scheduler.run_for(seconds)
+
+    def flush_region(self) -> int:
+        """Drain every fan-in lane so all accepted points are queryable.
+
+        No-op (returns 0) without a hub.  Call before reading the store
+        when a run may have ended between hub flush ticks.
+        """
+        return self.hub.drain_all() if self.hub is not None else 0
 
     def city(self, name: str) -> CityEcosystem:
         return self.cities[name]

@@ -99,6 +99,12 @@ class BatchingTsdbWriter:
         if len(self._builder) >= self.max_pending:
             self.flush()
 
+    def add_series(self, metric: str, timestamps, values, tags=None) -> None:
+        """Columnar add: one series' parallel timestamp/value columns."""
+        self._builder.add_series(metric, timestamps, values, tags)
+        if len(self._builder) >= self.max_pending:
+            self.flush()
+
     def flush(self) -> int:
         """Write all buffered points as one batch; returns points written."""
         if not len(self._builder):

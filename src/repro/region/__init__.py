@@ -1,0 +1,24 @@
+"""Regional fan-in layer: async multi-city ingestion into one store.
+
+The paper's ecosystem runs multiple city deployments (Trondheim, Vejle)
+against shared storage and analytics.  This package generalizes that:
+a :class:`RegionalHub` absorbs columnar batch traffic from N city
+dataports through bounded :class:`AsyncBatchQueue` lanes with explicit
+backpressure (block / drop-oldest / spill-to-disk) and per-city
+:class:`CityPolicy` lifecycle rules (queue depth, flush throttle,
+retention/rollup), all driven by the deterministic simulation clock.
+"""
+
+from .hub import CityIngress, HubStats, RegionalHub
+from .policy import CityPolicy
+from .queue import AsyncBatchQueue, Backpressure, QueueStats
+
+__all__ = [
+    "AsyncBatchQueue",
+    "Backpressure",
+    "CityIngress",
+    "CityPolicy",
+    "HubStats",
+    "QueueStats",
+    "RegionalHub",
+]

@@ -1,0 +1,49 @@
+"""Per-city lifecycle policies for the regional fan-in layer.
+
+The paper's ecosystem federates independent city deployments (Trondheim
+and Vejle) into shared storage; each city brings its own operational
+envelope.  A :class:`CityPolicy` bundles that envelope: how much ingest
+the region will buffer for the city, what happens when the buffer fills,
+how fast the hub flushes it, and how long the city's raw history lives
+before rolling up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..tsdb.model import validate_name
+from ..tsdb.retention import RetentionPolicy
+from .queue import Backpressure
+
+
+@dataclass(frozen=True)
+class CityPolicy:
+    """One city's contract with the regional hub.
+
+    ``queue_capacity`` bounds the city's in-memory queue (points);
+    ``backpressure`` picks the overflow behaviour; ``max_flush_points``
+    throttles how much one hub tick moves into the regional store (None
+    = unbounded — drain everything each tick); ``retention`` (with
+    ``retention_interval_s``) drives per-city retention/rollup scoped to
+    series tagged ``city=<name>``.
+    """
+
+    city: str
+    queue_capacity: int = 50_000
+    backpressure: Backpressure | str = Backpressure.BLOCK
+    max_flush_points: int | None = None
+    retention: RetentionPolicy | None = None
+    retention_interval_s: int = 3600
+
+    def __post_init__(self) -> None:
+        validate_name(self.city, "city")
+        if self.queue_capacity <= 0:
+            raise ValueError("queue_capacity must be positive")
+        if self.max_flush_points is not None and self.max_flush_points <= 0:
+            raise ValueError("max_flush_points must be positive (or None)")
+        if self.retention_interval_s <= 0:
+            raise ValueError("retention_interval_s must be positive")
+        object.__setattr__(
+            self, "backpressure", Backpressure.coerce(self.backpressure)
+        )

@@ -11,6 +11,7 @@ from .operators import (
     Segmenter,
     Sink,
     Source,
+    StoreSink,
     TumblingWindow,
     chain,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "Segmenter",
     "Sink",
     "Source",
+    "StoreSink",
     "TumblingWindow",
     "chain",
 ]

@@ -393,6 +393,62 @@ class BatchSink(Operator):
         return np.concatenate([c[1] for c in self._chunks])
 
 
+class StoreSink(Operator):
+    """Terminal stage writing the stream into a time-series store.
+
+    ``store`` is anything exposing ``put_batch`` — a
+    :class:`~repro.tsdb.TSDB`, a :class:`~repro.tsdb.ShardedTSDB`, or a
+    regional :class:`~repro.region.CityIngress` lane — so a stream
+    pipeline can feed the regional fan-in layer in columnar form.
+    Buffering delegates to the dataport's
+    :class:`~repro.dataport.app.BatchingTsdbWriter` (one batch flushed
+    every ``flush_every`` rows and on end-of-stream), so there is a
+    single accumulate-and-flush implementation in the codebase.
+    """
+
+    def __init__(
+        self,
+        store,
+        metric: str,
+        tags: dict | None = None,
+        *,
+        flush_every: int = 4096,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name)
+        from ..dataport.app import BatchingTsdbWriter
+
+        self.store = store
+        self.metric = metric
+        self.tags = dict(tags or {})
+        self.flush_every = flush_every
+        self._writer = BatchingTsdbWriter(store, max_pending=flush_every)
+
+    @property
+    def written(self) -> int:
+        return self._writer.written
+
+    def process(self, event: Event) -> None:
+        self._writer.add(
+            self.metric, event.timestamp, event.value, {**self.tags, **event.tags}
+        )
+
+    def process_batch(self, batch: EventBatch) -> None:
+        if len(batch):
+            self._writer.add_series(
+                self.metric, batch.timestamps, batch.values,
+                {**self.tags, **batch.tags},
+            )
+
+    def flush_writes(self) -> int:
+        """Push buffered rows to the store; returns rows written."""
+        return self._writer.flush()
+
+    def flush(self) -> None:
+        self.flush_writes()
+        super().flush()
+
+
 def chain(*operators: Operator) -> tuple[Operator, Operator]:
     """Wire operators linearly; returns (head, tail)."""
     if not operators:

@@ -46,7 +46,7 @@ from .persistence import (
     snapshot,
 )
 from .query import Query, QueryError, QueryResult, ResultSeries, compute_rate
-from .retention import RetentionPolicy, RolledUp
+from .retention import PerShardRetention, RetentionPolicy, RolledUp
 from .series import SeriesSlice, SeriesStore, merge_slices
 from .sharded import ShardedTSDB, scatter_batch, shard_for_key
 
@@ -72,6 +72,7 @@ __all__ = [
     "METRIC_PRESSURE",
     "METRIC_TEMPERATURE",
     "METRIC_TRAFFIC_COUNT",
+    "PerShardRetention",
     "PointBatch",
     "Query",
     "QueryError",

@@ -134,6 +134,26 @@ class PointBatch:
         for s, e in zip(starts, ends):
             yield self.keys[int(idx_sorted[s])], ts[s:e], vals[s:e]
 
+    def rows(self, lo: int, hi: int) -> "PointBatch":
+        """Row-range view ``[lo, hi)`` sharing the key dictionary.
+
+        Row order (and therefore last-write-wins semantics within the
+        kept range) is preserved; used by the regional fan-in layer to
+        split oversized batches and trim drop-oldest overflow.
+        """
+        lo = max(0, int(lo))
+        hi = min(len(self), int(hi))
+        if lo >= hi:
+            return PointBatch.empty()
+        if lo == 0 and hi == len(self):
+            return self
+        return PointBatch(
+            self.keys,
+            self.key_idx[lo:hi],
+            self.timestamps[lo:hi],
+            self.values[lo:hi],
+        )
+
     def iter_points(self) -> Iterator[DataPoint]:
         """Row-wise view (the per-point shim over the columnar data)."""
         for i in range(len(self)):

@@ -211,20 +211,41 @@ class TSDB(StoreApi):
             if len(store) == 0:
                 dead.append(key)
         for key in dead:
-            del self._stores[key]
-            metric_bucket = self._by_metric[key.metric]
-            metric_bucket.discard(key)
-            if not metric_bucket:
-                # Prune empty buckets: under retention churn, dead series
-                # would otherwise leave their index entries behind forever.
-                del self._by_metric[key.metric]
-            for pair in key.tags:
-                tag_bucket = self._by_tag.get(pair)
-                if tag_bucket is not None:
-                    tag_bucket.discard(key)
-                    if not tag_bucket:
-                        del self._by_tag[pair]
+            self._unindex(key)
         return dropped
+
+    def delete_series_before(self, key: SeriesKey, cutoff: int) -> int:
+        """Retention for one series: drop its points older than ``cutoff``.
+
+        The primitive under tag-scoped retention (the regional hub
+        applies per-city horizons to ``city=<name>`` series only).
+        Returns points dropped; unknown keys drop nothing.
+        """
+        store = self._stores.get(key)
+        if store is None:
+            return 0
+        dropped = store.delete_before(cutoff)
+        if len(store) == 0:
+            self._unindex(key)
+        return dropped
+
+    def _unindex(self, key: SeriesKey) -> None:
+        """Remove an emptied series and prune its index buckets.
+
+        Under retention churn, dead series would otherwise leave their
+        index entries behind forever.
+        """
+        del self._stores[key]
+        metric_bucket = self._by_metric[key.metric]
+        metric_bucket.discard(key)
+        if not metric_bucket:
+            del self._by_metric[key.metric]
+        for pair in key.tags:
+            tag_bucket = self._by_tag.get(pair)
+            if tag_bucket is not None:
+                tag_bucket.discard(key)
+                if not tag_bucket:
+                    del self._by_tag[pair]
 
 
 def execute_query(

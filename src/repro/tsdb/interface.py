@@ -94,6 +94,8 @@ class TimeSeriesStore(Protocol):
         self, cutoff: int, *, exclude_suffix: str | None = None
     ) -> int: ...
 
+    def delete_series_before(self, key: SeriesKey, cutoff: int) -> int: ...
+
 
 class StoreApi:
     """Store-agnostic convenience surface, mixed into every store.

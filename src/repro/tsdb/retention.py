@@ -4,18 +4,31 @@ City archives grow without bound (the paper's archive runs from January
 2017).  A :class:`RetentionPolicy` bounds raw-data age, optionally rolling
 old raw points up into a coarser metric before deletion so long-horizon
 dashboards stay cheap.
+
+Two scoped variants serve the multi-city / sharded deployments:
+
+- :meth:`RetentionPolicy.enforce_scoped` limits a pass to series
+  matching a tag filter (the regional hub's per-city horizons, scoped
+  to ``city=<name>``);
+- :class:`PerShardRetention` applies a distinct policy per shard of a
+  :class:`~repro.tsdb.sharded.ShardedTSDB`, optionally appending the
+  matching ``!delete_before`` WAL marker to each shard's log so a
+  shard-by-shard replay (``restore_from_dir``) reproduces the
+  post-retention state.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from .downsample import Downsample, apply as apply_downsample
-from .model import SeriesKey
+from .model import DataPoint, SeriesKey
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .interface import TimeSeriesStore
+    from .persistence import LogWriter
+    from .sharded import ShardedTSDB
 
 
 @dataclass(frozen=True)
@@ -56,14 +69,58 @@ class RetentionPolicy:
         dropped = db.delete_before(cutoff, exclude_suffix=exclude)
         return RolledUp(dropped_points=dropped, rolled_points=rolled, cutoff=cutoff)
 
-    def _roll_old_points(self, db: "TimeSeriesStore", cutoff: int) -> int:
+    def enforce_scoped(
+        self, db: "TimeSeriesStore", now: int, tags: Mapping[str, str]
+    ) -> RolledUp:
+        """Apply the policy to series matching ``tags`` only.
+
+        Same semantics as :meth:`enforce` restricted to the matching
+        series (tag filters support the query syntax: exact, ``*``,
+        ``a|b``).  Deletion goes series-by-series through
+        ``delete_series_before``, so other tenants of the same store —
+        other cities, shared external feeds — are untouched.
+        """
+        cutoff = now - self.raw_max_age
+        rolled = 0
+        exclude = None
+        if self.rollup is not None:
+            rolled = self._roll_old_points(db, cutoff, tags=tags)
+            exclude = self.rollup_suffix
+        dropped = 0
+        for metric in list(db.metrics()):
+            if exclude is not None and metric.endswith(exclude):
+                continue
+            for key in list(db.series_for_metric(metric)):
+                if not key.matches(tags):
+                    continue
+                dropped += db.delete_series_before(key, cutoff)
+        return RolledUp(dropped_points=dropped, rolled_points=rolled, cutoff=cutoff)
+
+    def _roll_old_points(
+        self,
+        db: "TimeSeriesStore",
+        cutoff: int,
+        *,
+        tags: Mapping[str, str] | None = None,
+        into: "TimeSeriesStore | None" = None,
+    ) -> int:
+        """Aggregate pre-cutoff raw points into rollup series.
+
+        ``tags`` restricts the pass to matching series; ``into`` routes
+        the rollup *writes* to a different store than the one being read
+        (per-shard retention reads one shard but writes through the
+        sharded coordinator so rollup series hash-route correctly).
+        """
         assert self.rollup is not None
+        target_db = db if into is None else into
         rolled = 0
         # Materialize the key list first: we add rollup series while iterating.
         for metric in list(db.metrics()):
             if metric.endswith(self.rollup_suffix):
                 continue  # never roll a rollup
             for key in list(db.series_for_metric(metric)):
+                if tags is not None and not key.matches(tags):
+                    continue
                 old = db.series_slice(key, end=cutoff - 1)
                 if len(old) == 0:
                     continue
@@ -72,6 +129,99 @@ class RetentionPolicy:
                 for ts, val in zip(
                     buckets.timestamps.tolist(), buckets.values.tolist()
                 ):
-                    db.put(target.metric, int(ts), float(val), target.tag_dict())
+                    target_db.put(target.metric, int(ts), float(val), target.tag_dict())
                     rolled += 1
         return rolled
+
+
+@dataclass(frozen=True)
+class PerShardRetention:
+    """Distinct retention horizons per shard of a sharded store.
+
+    ``policies[i]`` governs shard ``i`` (None = shard exempt).  Rollups
+    read shard-local raw data but write through the *coordinator*, so a
+    rollup series lands in whichever shard its key hash-routes to —
+    exactly where queries will look for it.  When per-shard WAL writers
+    are supplied, each enforcement appends the matching
+    ``!delete_before`` marker to that shard's log, keeping shard-by-
+    shard replay faithful to the post-retention state.
+    """
+
+    policies: tuple["RetentionPolicy | None", ...]
+
+    def enforce(
+        self,
+        db: "ShardedTSDB",
+        now: int,
+        *,
+        wal: "Sequence[LogWriter | None] | None" = None,
+    ) -> tuple[RolledUp | None, ...]:
+        if len(self.policies) != db.num_shards:
+            raise ValueError(
+                f"{len(self.policies)} policies for {db.num_shards} shards"
+            )
+        if wal is not None and len(wal) != db.num_shards:
+            raise ValueError(f"{len(wal)} WAL writers for {db.num_shards} shards")
+        # Rollup series are *regional* state: a rollup written while
+        # enforcing shard i hash-routes to whichever shard owns its key,
+        # so every shard's delete pass must spare the suffix — not just
+        # the shards whose own policy rolls up (otherwise shard j's
+        # plain delete destroys shard i's freshly rolled history).
+        suffixes = {
+            p.rollup_suffix
+            for p in self.policies
+            if p is not None and p.rollup is not None
+        }
+        if len(suffixes) > 1:
+            raise ValueError(
+                f"mixed rollup suffixes across shard policies: {sorted(suffixes)}"
+            )
+        exclude = next(iter(suffixes), None)
+        if wal is not None and exclude is not None and any(w is None for w in wal):
+            # A rollup may hash-route to *any* shard, including ones
+            # with no policy of their own; a missing writer would make
+            # that shard's replay silently diverge from the live store.
+            raise ValueError(
+                "rollup-bearing per-shard retention requires a WAL writer "
+                "for every shard (rollups may land in any shard)"
+            )
+        out: list[RolledUp | None] = []
+        for i, (policy, shard) in enumerate(zip(self.policies, db.shards)):
+            if policy is None:
+                out.append(None)
+                continue
+            cutoff = now - policy.raw_max_age
+            rolled = 0
+            if policy.rollup is not None:
+                # Route rollup writes through the coordinator; with WALs
+                # attached, mirror each point into its owning shard's log
+                # so shard-by-shard replay reproduces the rollups too.
+                into = db if wal is None else _WalTeeStore(db, wal)
+                rolled = policy._roll_old_points(shard, cutoff, into=into)
+            dropped = shard.delete_before(cutoff, exclude_suffix=exclude)
+            if wal is not None and wal[i] is not None:
+                wal[i].delete_before(cutoff, exclude_suffix=exclude)
+            out.append(
+                RolledUp(dropped_points=dropped, rolled_points=rolled, cutoff=cutoff)
+            )
+        return tuple(out)
+
+
+class _WalTeeStore:
+    """Write facade: coordinator put + a point line in the owner's WAL.
+
+    Only the ``put`` surface rollups use; everything the sharded store
+    accepts lands normally, and the same point is appended to the WAL of
+    the shard that owns the series, keeping per-shard logs replayable.
+    """
+
+    def __init__(self, db: "ShardedTSDB", wal: "Sequence[LogWriter | None]") -> None:
+        self._db = db
+        self._wal = wal
+
+    def put(self, metric, timestamp, value, tags=None) -> SeriesKey:
+        key = self._db.put(metric, timestamp, value, tags)
+        writer = self._wal[self._db.shard_of(key)]
+        if writer is not None:
+            writer.write(DataPoint(key, int(timestamp), float(value)))
+        return key

@@ -207,6 +207,10 @@ class ShardedTSDB(StoreApi):
             for sh in self._shards
         )
 
+    def delete_series_before(self, key: SeriesKey, cutoff: int) -> int:
+        """Single-series retention, routed to the owning shard."""
+        return self._shards[self.shard_of(key)].delete_series_before(key, cutoff)
+
     # ------------------------------------------------------------------
     # Persistence (one snapshot file per shard)
     # ------------------------------------------------------------------

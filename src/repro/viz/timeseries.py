@@ -66,11 +66,20 @@ class Chart:
         markers = "*o+x%@"
         for s_idx, (label, ts, vs) in enumerate(self.series):
             marker = markers[s_idx % len(markers)]
-            for t, v in zip(ts, vs):
-                if not np.isfinite(v):
-                    continue
-                x = 10 + int((t - t0) / (t1 - t0) * (plot_w - 1))
-                y = 1 + plot_h - 1 - int((v - lo) / (hi - lo) * (plot_h - 1))
+            # Columnar rasterization: map all points to cells in two
+            # numpy expressions, then draw each *distinct* cell once.
+            mask = np.isfinite(vs)
+            if not mask.any():
+                continue
+            t = ts[mask].astype(np.float64)
+            v = vs[mask]
+            xs = 10 + ((t - t0) / (t1 - t0) * (plot_w - 1)).astype(np.intp)
+            ys = (
+                1 + plot_h - 1
+                - ((v - lo) / (hi - lo) * (plot_h - 1)).astype(np.intp)
+            )
+            cells = np.unique(np.stack([xs, ys], axis=1), axis=0)
+            for x, y in cells.tolist():
                 canvas.set(x, y, marker)
         canvas.text(1, 1, f"{hi:9.1f}")
         canvas.text(1, self.height - 3, f"{lo:9.1f}")
@@ -111,11 +120,13 @@ class Chart:
 
         for i, (label, ts, vs) in enumerate(self.series):
             color = _SERIES_COLORS[i % len(_SERIES_COLORS)]
-            points = [
-                (sx(float(t)), sy(float(v)))
-                for t, v in zip(ts, vs)
-                if np.isfinite(v)
-            ]
+            # Columnar projection: both screen-space transforms run as
+            # whole-array expressions; only the final string assembly
+            # touches Python objects.
+            mask = np.isfinite(vs)
+            px = margin_l + (ts[mask].astype(np.float64) - t0) / (t1 - t0) * pw
+            py = margin_t + (1.0 - (vs[mask] - lo) / (hi - lo)) * ph
+            points = list(zip(px.tolist(), py.tolist()))
             if len(points) >= 2:
                 svg.polyline(points, stroke=color)
             elif points:

@@ -303,3 +303,151 @@ class TestShardLocality:
                 assert key not in owners
                 owners[key] = i
         assert len(owners) == 5
+
+
+class TestPerShardRetention:
+    """Satellite: distinct `delete_before` horizons per shard, with WAL
+    markers that replay faithfully through `restore_from_dir`."""
+
+    def test_distinct_horizons_per_shard(self):
+        from repro.tsdb import PerShardRetention
+
+        _, db = build_pair(3)
+        now = 5_000 * 60
+        horizons = (100_000, None, 250_000)
+        policies = tuple(
+            RetentionPolicy(raw_max_age=h) if h is not None else None
+            for h in horizons
+        )
+        before = [sh.exact_point_count() for sh in db.shards]
+        results = PerShardRetention(policies).enforce(db, now)
+
+        assert results[1] is None
+        assert db.shards[1].exact_point_count() == before[1]  # exempt shard
+        for i in (0, 2):
+            cutoff = now - horizons[i]
+            assert results[i].cutoff == cutoff
+            for _key, sl in db.shards[i].iter_series():
+                assert len(sl) == 0 or int(sl.timestamps[0]) >= cutoff
+            # And the per-shard pass matches the single-store primitive.
+            assert results[i].dropped_points == before[i] - db.shards[
+                i
+            ].exact_point_count()
+
+    def test_rollups_route_through_the_coordinator(self):
+        from repro.tsdb import PerShardRetention
+
+        _, db = build_pair(4)
+        now = 5_000 * 60
+        policy = RetentionPolicy(
+            raw_max_age=150_000, rollup=Downsample.parse("1h-avg")
+        )
+        PerShardRetention((policy,) * 4).enforce(db, now)
+        rollup_keys = [
+            key
+            for metric in db.metrics()
+            if metric.endswith(".rollup")
+            for key in db.series_for_metric(metric)
+        ]
+        assert rollup_keys
+        # Every rollup series lives in the shard its key hash-routes to,
+        # even when its *source* raw series lived in a different shard.
+        for key in rollup_keys:
+            owner = db.shard_of(key)
+            assert key in db.shards[owner]._stores
+            raw = SeriesKey.make(
+                key.metric.removesuffix(".rollup"), key.tag_dict()
+            )
+            if shard_for_key(raw, 4) != owner:
+                break
+        else:
+            pytest.fail("expected at least one rollup routed off-shard")
+
+    def test_cross_shard_rollups_survive_other_shards_deletes(self):
+        """A rollup written while enforcing shard i may hash-route to
+        shard j; shard j's own delete pass (even with no rollup in its
+        policy) must spare it, both within one pass and on re-runs."""
+        from repro.tsdb import PerShardRetention
+
+        _, db = build_pair(2)
+        now = 5_000 * 60
+        retention = PerShardRetention(
+            (
+                RetentionPolicy(
+                    raw_max_age=100_000, rollup=Downsample.parse("1h-avg")
+                ),
+                RetentionPolicy(raw_max_age=100_000),  # no rollup of its own
+            )
+        )
+        results = retention.enforce(db, now)
+        assert results[0].rolled_points > 0
+        rollup_keys = [
+            key
+            for metric in db.metrics()
+            if metric.endswith(".rollup")
+            for key in db.series_for_metric(metric)
+        ]
+        # Rolled history landed on both shards and none of it was eaten
+        # by the sibling shard's plain delete.
+        assert {db.shard_of(k) for k in rollup_keys} == {0, 1}
+        assert sum(len(db.series_slice(k)) for k in rollup_keys) == results[
+            0
+        ].rolled_points
+        # A second pass (nothing new to roll) must not erode them either.
+        again = retention.enforce(db, now)
+        assert again[0].rolled_points == 0
+        assert sum(len(db.series_slice(k)) for k in rollup_keys) == results[
+            0
+        ].rolled_points
+
+    def test_mixed_rollup_suffixes_rejected(self):
+        from repro.tsdb import PerShardRetention
+
+        _, db = build_pair(2)
+        retention = PerShardRetention(
+            (
+                RetentionPolicy(
+                    raw_max_age=1, rollup=Downsample.parse("1h-avg")
+                ),
+                RetentionPolicy(
+                    raw_max_age=1,
+                    rollup=Downsample.parse("1h-avg"),
+                    rollup_suffix=".agg",
+                ),
+            )
+        )
+        with pytest.raises(ValueError, match="mixed rollup suffixes"):
+            retention.enforce(db, 10)
+
+    @pytest.mark.parametrize("with_rollup", (False, True))
+    def test_wal_markers_replay_through_restore_from_dir(
+        self, tmp_path, with_rollup
+    ):
+        from repro.tsdb import LogWriter, PerShardRetention
+
+        _, db = build_pair(3)
+        now = 5_000 * 60
+        rollup = Downsample.parse("1h-avg") if with_rollup else None
+        policies = (
+            RetentionPolicy(raw_max_age=100_000, rollup=rollup),
+            None,
+            RetentionPolicy(raw_max_age=250_000),
+        )
+        snap = tmp_path / "snap"
+        db.snapshot_to_dir(snap)  # pre-retention state on disk
+
+        # Live enforcement appends one `!delete_before` marker per shard
+        # WAL (plus any rollup points, mirrored to their owning shard's
+        # log); a shard-by-shard replay must land on the live state.
+        writers = [
+            LogWriter(snap / f"shard-{i}-of-3.log") for i in range(3)
+        ]
+        results = PerShardRetention(policies).enforce(db, now, wal=writers)
+        for w in writers:
+            w.close()
+        if with_rollup:
+            assert results[0].rolled_points > 0
+
+        restored = ShardedTSDB.restore_from_dir(snap)
+        assert dumps(restored) == dumps(db)
+        assert restored.exact_point_count() == db.exact_point_count()
