@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-sharded test-region bench bench-sharded bench-region lint
+.PHONY: test test-sharded test-region test-persist bench bench-sharded bench-region bench-persist lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,6 +14,11 @@ test-sharded:
 test-region:
 	$(PYTHON) -m pytest -q tests/test_region_queue.py tests/test_region_hub.py
 
+# The persistence-format gate: binary/text round-trip equivalence,
+# codec properties, corruption recovery, spill adoption.
+test-persist:
+	$(PYTHON) -m pytest -q tests/test_tsdb_segments.py tests/test_tsdb_persistence.py
+
 bench:
 	$(PYTHON) -m pytest -q benchmarks/test_ingest_throughput.py -s
 
@@ -23,6 +28,11 @@ bench-sharded:
 # 1/2/4-city fan-in throughput, recorded into BENCH_ingest.json.
 bench-region:
 	$(PYTHON) -m pytest -q benchmarks/test_region_fanin.py -s
+
+# WAL append / replay / snapshot-restore, text vs binary segments;
+# gates the >=10x binary speedup and records the persistence section.
+bench-persist:
+	$(PYTHON) -m pytest -q benchmarks/test_persistence.py -s
 
 lint:
 	$(PYTHON) -m ruff check src/

@@ -3,11 +3,13 @@
 Small operational wrapper over the library so a city operator can poke
 the system without writing code:
 
-- ``demo``      — run the two-city EDBT demonstration;
-- ``run``       — simulate one city for N hours and print pipeline stats;
-- ``dashboard`` — render the Fig. 6 air-quality dashboard as text;
-- ``table1``    — show the external-source catalog status;
-- ``wall``      — render the Fig. 8 wall display once.
+- ``demo``        — run the two-city EDBT demonstration;
+- ``run``         — simulate one city for N hours and print pipeline stats;
+- ``dashboard``   — render the Fig. 6 air-quality dashboard as text;
+- ``table1``      — show the external-source catalog status;
+- ``wall``        — render the Fig. 8 wall display once;
+- ``convert-log`` — migrate a WAL/snapshot between the text line
+  protocol and binary columnar segments.
 """
 
 from __future__ import annotations
@@ -147,6 +149,37 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_convert_log(args: argparse.Namespace) -> int:
+    """Migrate a WAL or snapshot between durability formats.
+
+    The source format is auto-detected, so this upgrades pre-segment
+    text logs to binary (``--to binary``, the default) and turns
+    segments back into human-readable lines for debugging
+    (``--to text``).  ``--lenient`` skips corrupt lines/blocks — the
+    recovery path for a log damaged by an unclean shutdown.
+    """
+    from .tsdb import LogCorruption, SegmentCorruption, convert_log
+
+    try:
+        points, markers = convert_log(
+            args.src, args.dst, format=args.to, strict=not args.lenient
+        )
+    except FileNotFoundError as exc:
+        raise SystemExit(f"convert-log: {exc}")
+    except (LogCorruption, SegmentCorruption) as exc:
+        raise SystemExit(
+            f"convert-log: {args.src} is corrupt ({exc}); rerun with --lenient "
+            "to skip damaged entries"
+        )
+    except ValueError as exc:  # e.g. src == dst
+        raise SystemExit(f"convert-log: {exc}")
+    print(
+        f"converted {args.src} -> {args.dst} [{args.to}]: "
+        f"{points} points, {markers} retention markers"
+    )
+    return 0
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     # The examples script is the canonical demo; reuse it.
     from pathlib import Path
@@ -202,6 +235,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_t1 = sub.add_parser("table1", help="external-source catalog status")
     common(p_t1)
     p_t1.set_defaults(func=cmd_table1)
+
+    p_conv = sub.add_parser(
+        "convert-log",
+        help="migrate a WAL/snapshot between text and binary segment formats",
+    )
+    p_conv.add_argument("src", help="source log (format auto-detected)")
+    p_conv.add_argument("dst", help="destination file (truncated)")
+    p_conv.add_argument(
+        "--to", choices=("binary", "text"), default="binary",
+        help="target format (default: binary columnar segments)")
+    p_conv.add_argument(
+        "--lenient", action="store_true",
+        help="skip corrupt lines/blocks instead of failing")
+    p_conv.set_defaults(func=cmd_convert_log)
 
     p_demo = sub.add_parser("demo", help="run the full EDBT demo")
     p_demo.set_defaults(func=cmd_demo)

@@ -15,7 +15,10 @@ Three policies govern what happens when the queue is full:
 - ``drop-oldest`` — the oldest queued rows are evicted to make room,
   with exact drop accounting (newest data always wins);
 - ``spill``       — the oldest queued batches overflow to disk as
-  line-protocol segments and are recovered, in order, on drain.
+  binary columnar segments (:mod:`repro.tsdb.segments`; whole-column
+  encode, no per-point objects) and are recovered, in order, on drain.
+  Legacy line-protocol spill files from older processes are still
+  adopted and replayed on restart.
 
 All transitions are synchronous and deterministic: there are no threads,
 only scheduler ticks, so queue behaviour replays identically run-to-run.
@@ -24,12 +27,14 @@ only scheduler ticks, so queue behaviour replays identically run-to-run.
 from __future__ import annotations
 
 import enum
+import re
 from collections import deque
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
-from ..tsdb.batch import BatchBuilder, PointBatch
-from ..tsdb.persistence import LogWriter, iter_log
+from ..tsdb.batch import PointBatch
+from ..tsdb.persistence import SegmentWriter, detect_format, iter_batches
+from ..tsdb.segments import segment_point_count
 
 
 class Backpressure(enum.Enum):
@@ -81,6 +86,11 @@ class QueueStats:
         return asdict(self)
 
 
+#: Spill segments this queue owns: ``spill-<seq>.seg`` (binary) or the
+#: legacy ``spill-<seq>.log`` (text, pre-segment processes).
+_SPILL_FILE_RE = re.compile(r"^spill-(\d+)\.(seg|log)$")
+
+
 class AsyncBatchQueue:
     """Bounded FIFO of :class:`PointBatch` between ingestion and flushes.
 
@@ -120,12 +130,33 @@ class AsyncBatchQueue:
         """Crash recovery: segments a previous process left in the spill
         directory become pending spill (oldest first) rather than being
         appended to under reused names and replayed as phantom data.
-        Adopted rows count as offered+accepted+spilled so the
-        conservation invariant keeps holding exactly.
+        Both binary ``.seg`` segments and legacy line-protocol ``.log``
+        segments (spilled before the columnar format landed) are
+        adopted — the read side auto-detects per file.  Only files
+        matching the exact ``spill-<seq>`` naming are touched; anything
+        else in the directory (an operator's backup copy, say) is left
+        alone rather than crashing lane construction.  Adopted rows
+        count as offered+accepted+spilled so the conservation invariant
+        keeps holding exactly.
         """
-        leftovers = sorted(self._spill_dir.glob("spill-*.log"))
+        leftovers = sorted(
+            (p for p in self._spill_dir.iterdir() if _SPILL_FILE_RE.match(p.name)),
+            key=lambda p: int(p.stem.split("-")[1]),
+        )
         for path in leftovers:
-            n = sum(1 for _ in iter_log(path))
+            # strict=False: a segment torn by the very crash we are
+            # recovering from must yield its clean prefix, not kill the
+            # lane at construction time.  Binary segments count rows by
+            # a framing walk (no columnar decode — that happens once, at
+            # drain); only legacy text files need a full parse.
+            if detect_format(path) == "binary":
+                n = segment_point_count(path, strict=False)
+            else:
+                n = sum(
+                    len(b)
+                    for b in iter_batches(path, strict=False)
+                    if isinstance(b, PointBatch)
+                )
             if n == 0:
                 path.unlink()
                 continue
@@ -246,11 +277,10 @@ class AsyncBatchQueue:
 
     def _spill_out(self, batch: PointBatch) -> None:
         assert self._spill_dir is not None
-        path = self._spill_dir / f"spill-{self._spill_seq:08d}.log"
+        path = self._spill_dir / f"spill-{self._spill_seq:08d}.seg"
         self._spill_seq += 1
-        with LogWriter(path) as writer:
-            for point in batch.iter_points():
-                writer.write(point)
+        with SegmentWriter(path, append=False) as writer:
+            writer.write_batch(batch)
         self._spill_segments.append((path, len(batch)))
         self._spill_pending += len(batch)
         self.stats.spilled_batches += 1
@@ -295,8 +325,11 @@ class AsyncBatchQueue:
 
     @staticmethod
     def _read_segment(path: Path) -> PointBatch:
-        builder = BatchBuilder()
-        for point in iter_log(path):
-            builder.add_point(point)
+        """Recover one spill segment as a batch (format auto-detected,
+        so legacy text segments replay alongside binary ones; lenient,
+        so a crash-torn tail yields the clean prefix)."""
+        batches = [
+            b for b in iter_batches(path, strict=False) if isinstance(b, PointBatch)
+        ]
         path.unlink()
-        return builder.build()
+        return PointBatch.concat(batches)

@@ -3,9 +3,11 @@
 Data model: points are ``(metric, timestamp, value, tags)``; a series is
 one metric + tag combination.  Queries support tag filtering (exact,
 ``*``, ``a|b``), cross-series aggregation, group-by, rate, and
-downsampling with gap-fill policies.  Persistence is an append-only line
-protocol with snapshot compaction; retention optionally rolls old raw
-data up into coarser series.
+downsampling with gap-fill policies.  Persistence is an append-only WAL
+with snapshot compaction in two interchangeable formats — a
+human-readable line protocol and binary columnar segments (the fast
+path; see :mod:`~repro.tsdb.segments`) — and retention optionally rolls
+old raw data up into coarser series.
 """
 
 from . import aggregators
@@ -35,15 +37,25 @@ from .persistence import (
     DeleteBefore,
     LogCorruption,
     LogWriter,
+    convert_log,
+    detect_format,
     dumps,
     format_delete_before,
     format_point,
+    iter_batches,
     iter_entries,
     iter_log,
     load,
     parse_entry,
     parse_line,
     snapshot,
+)
+from .segments import (
+    SegmentCorruption,
+    SegmentWriter,
+    iter_segments,
+    parse_series_key,
+    segment_point_count,
 )
 from .query import Query, QueryError, QueryResult, ResultSeries, compute_rate
 from .retention import PerShardRetention, RetentionPolicy, RolledUp
@@ -80,6 +92,8 @@ __all__ = [
     "ResultSeries",
     "RetentionPolicy",
     "RolledUp",
+    "SegmentCorruption",
+    "SegmentWriter",
     "SeriesKey",
     "SeriesSlice",
     "SeriesStore",
@@ -88,18 +102,24 @@ __all__ = [
     "TimeSeriesStore",
     "aggregators",
     "compute_rate",
+    "convert_log",
+    "detect_format",
     "dumps",
     "execute_query",
     "format_delete_before",
     "format_point",
+    "iter_batches",
     "iter_entries",
     "iter_log",
+    "iter_segments",
     "load",
     "merge_slices",
     "parse_entry",
     "parse_line",
+    "parse_series_key",
     "run_boundaries",
     "scatter_batch",
+    "segment_point_count",
     "shard_for_key",
     "snapshot",
     "validate_name",

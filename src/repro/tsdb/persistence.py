@@ -1,7 +1,9 @@
-"""Durability: append-only line-protocol log and snapshot/restore.
+"""Durability: WAL and snapshot/restore in two interchangeable formats.
 
 The cloud storage tier of the paper persists every measurement.  We
-reproduce it with a human-readable, append-only *line protocol*::
+reproduce it with two on-disk formats behind one API:
+
+**Text** — a human-readable, append-only *line protocol*::
 
     <metric> <timestamp> <value> [tagk=tagv ...]
 
@@ -11,38 +13,66 @@ one control marker is retention::
     !delete_before <cutoff> [exclude=<suffix>]
 
 so a replayed log reproduces the post-retention state, not just the
-union of every point ever written.  A write-ahead writer appends lines
-as points arrive; ``load`` replays a log into a fresh :class:`TSDB` (or,
-via ``into=``, any :class:`~repro.tsdb.interface.TimeSeriesStore`, e.g.
-one shard of a :class:`~repro.tsdb.sharded.ShardedTSDB`).  This is
-deliberately simple (the dataset is city-scale, not hyperscale) but
-covers the real failure mode the dataport cares about: process restarts
-must not lose the historic archive.
+union of every point ever written.
+
+**Binary** — the columnar segment format of
+:mod:`~repro.tsdb.segments`: whole :class:`PointBatch` columns per
+CRC-checked block, markers as typed control blocks, no per-point Python
+objects on either side.  This is the fast path — durability at the same
+granularity as ingest.
+
+``load``, ``snapshot``, ``dumps``, and ``convert_log`` take a
+``format="text"|"binary"`` switch; reads auto-detect from the segment
+magic, so a restore never needs to be told what it is replaying.  Both
+formats restore byte-identical store state (the equivalence suite in
+``tests/test_tsdb_segments.py`` pins this), including interleaved
+retention markers and lenient truncated-tail recovery.  ``load`` replays
+into a fresh :class:`TSDB` (or, via ``into=``, any
+:class:`~repro.tsdb.interface.TimeSeriesStore`, e.g. one shard of a
+:class:`~repro.tsdb.sharded.ShardedTSDB`).
 """
 
 from __future__ import annotations
 
 import io
 import os
-from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator, TextIO
 
-from .batch import BatchBuilder
+from .batch import BatchBuilder, PointBatch
 from .database import TSDB
 from .model import DataPoint
+from .segments import (
+    DeleteBefore,
+    SegmentCorruption,
+    SegmentWriter,
+    SEGMENT_MAGIC,
+    iter_segments,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .interface import TimeSeriesStore
 
-
-@dataclass(frozen=True, slots=True)
-class DeleteBefore:
-    """Replayable retention marker: drop points older than ``cutoff``."""
-
-    cutoff: int
-    exclude_suffix: str | None = None
-
+__all__ = [
+    "DeleteBefore",
+    "LogCorruption",
+    "LogWriter",
+    "SegmentCorruption",
+    "SegmentWriter",
+    "convert_log",
+    "detect_format",
+    "dumps",
+    "format_delete_before",
+    "format_point",
+    "iter_batches",
+    "iter_entries",
+    "iter_log",
+    "iter_segments",
+    "load",
+    "parse_entry",
+    "parse_line",
+    "snapshot",
+]
 
 #: Control lines start with this character (vs. ``#`` for comments).
 MARKER_PREFIX = "!"
@@ -141,10 +171,12 @@ def parse_line(line: str, lineno: int = 0) -> DataPoint | None:
 class LogWriter:
     """Append-only writer; flushes per batch, not per point."""
 
-    def __init__(self, path: str | os.PathLike[str] | TextIO) -> None:
+    def __init__(
+        self, path: str | os.PathLike[str] | TextIO, *, append: bool = True
+    ) -> None:
         if isinstance(path, (str, os.PathLike)):
             self._path = Path(path)
-            self._fh: TextIO = open(self._path, "a", encoding="utf-8")
+            self._fh: TextIO = open(self._path, "a" if append else "w", encoding="utf-8")
             self._owns = True
         else:
             self._path = None
@@ -161,12 +193,22 @@ class LogWriter:
         self._written += 1
 
     def write_many(self, points: Iterable[DataPoint]) -> int:
-        n = 0
-        for p in points:
-            self.write(p)
-            n += 1
+        """Append many points: format all lines, then one ``writelines``.
+
+        Building the whole line list first keeps the I/O layer out of
+        the per-point loop — one buffered write per call, not per point.
+        """
+        lines = [format_point(p) + "\n" for p in points]
+        self._fh.writelines(lines)
+        self._written += len(lines)
         self.flush()
-        return n
+        return len(lines)
+
+    def write_batch(self, batch: PointBatch) -> int:
+        """Append a columnar batch (row order, and thus last-write-wins
+        semantics, preserved).  The text twin of
+        :meth:`SegmentWriter.write_batch`, so WAL hooks accept either."""
+        return self.write_many(batch.iter_points())
 
     def delete_before(
         self, cutoff: int, *, exclude_suffix: str | None = None
@@ -209,13 +251,22 @@ def iter_entries(
 
     With ``strict=False`` corrupt lines are skipped instead of raising —
     the recovery path after an unclean shutdown that truncated the tail.
+    Input decodes with ``errors="replace"`` (binary-mode handles are
+    wrapped the same way) so binary garbage — e.g. a segment file whose
+    magic was damaged, mis-detected as text — surfaces as
+    :class:`LogCorruption` per line — loud under ``strict``, skippable
+    under recovery — never as a raw ``UnicodeDecodeError``/``TypeError``.
     """
+    wrapper: io.TextIOWrapper | None = None
     if isinstance(source, (str, os.PathLike)):
-        fh: TextIO = open(source, "r", encoding="utf-8")
+        fh: TextIO = open(source, "r", encoding="utf-8", errors="replace")
         owns = True
     else:
         fh = source
         owns = False
+        if isinstance(fh.read(0), bytes):  # binary-mode handle
+            wrapper = io.TextIOWrapper(fh, encoding="utf-8", errors="replace")
+            fh = wrapper
     try:
         for lineno, line in enumerate(fh, start=1):
             try:
@@ -229,6 +280,8 @@ def iter_entries(
     finally:
         if owns:
             fh.close()
+        elif wrapper is not None:
+            wrapper.detach()  # hand the caller's handle back intact
 
 
 def iter_log(
@@ -244,16 +297,89 @@ def iter_log(
 _LOAD_CHUNK = 65_536
 
 
+def detect_format(source) -> str:
+    """``"binary"`` when the source starts with the segment magic, else
+    ``"text"``.  Paths and seekable binary handles are probed; text
+    handles are text by construction."""
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, "rb") as fh:
+            head = fh.read(len(SEGMENT_MAGIC))
+        return "binary" if head == SEGMENT_MAGIC else "text"
+    if isinstance(source, io.TextIOBase):
+        return "text"
+    if hasattr(source, "seekable") and source.seekable():
+        pos = source.tell()
+        head = source.read(len(SEGMENT_MAGIC))
+        source.seek(pos)
+        return "binary" if head == SEGMENT_MAGIC else "text"
+    raise ValueError(
+        "cannot auto-detect the format of a non-seekable handle; "
+        'pass format="text" or format="binary"'
+    )
+
+
+def _coerce_format(source, format: str) -> str:
+    if format == "auto":
+        return detect_format(source)
+    if format not in ("text", "binary"):
+        raise ValueError(f'unknown format {format!r}; pick "text", "binary" or "auto"')
+    return format
+
+
+def _write_format(format: str) -> str:
+    """Validate a format for a *write* path, where auto-detection has
+    nothing to detect."""
+    if format not in ("text", "binary"):
+        raise ValueError(
+            f'unknown format {format!r}; pick "text" or "binary" '
+            '("auto" is only valid when reading)'
+        )
+    return format
+
+
+def iter_batches(
+    source,
+    *,
+    strict: bool = True,
+    format: str = "auto",
+) -> Iterator[PointBatch | DeleteBefore]:
+    """Yield a log's contents as columnar batches plus control markers.
+
+    The format-independent replay stream: binary segments yield their
+    blocks as decoded; text logs accumulate points into
+    :class:`BatchBuilder` chunks (flushed at marker boundaries so the
+    interleaving of data and retention is preserved exactly).
+    """
+    fmt = _coerce_format(source, format)
+    if fmt == "binary":
+        yield from iter_segments(source, strict=strict)
+        return
+    builder = BatchBuilder()
+    for entry in iter_entries(source, strict=strict):
+        if isinstance(entry, DeleteBefore):
+            if len(builder):
+                yield builder.build()
+            yield entry
+        else:
+            builder.add_point(entry)
+            if len(builder) >= _LOAD_CHUNK:
+                yield builder.build()
+    if len(builder):
+        yield builder.build()
+
+
 def load(
-    source: str | os.PathLike[str] | TextIO,
+    source,
     *,
     strict: bool = True,
     into: "TimeSeriesStore | None" = None,
+    format: str = "auto",
 ) -> "TimeSeriesStore":
-    """Replay a log into a store (chunked columnar batches).
+    """Replay a WAL or snapshot — either format — into a store.
 
-    Points accumulate in a :class:`BatchBuilder`; a ``!delete_before``
-    marker forces a flush and then applies the deletion, so replay
+    The format is auto-detected from the segment magic unless forced.
+    Replay is batch-at-a-time in both formats; a ``delete_before``
+    marker applies its deletion at its position in the stream, so replay
     interleaves batch blocks and retention exactly as the live process
     did — including the index pruning of series the deletion emptied.
     ``into`` defaults to a fresh single-store :class:`TSDB`; pass any
@@ -261,28 +387,36 @@ def load(
     into it.
     """
     db: "TimeSeriesStore" = into if into is not None else TSDB()
-    builder = BatchBuilder()
-    for entry in iter_entries(source, strict=strict):
-        if isinstance(entry, DeleteBefore):
-            db.put_batch(builder.build())
-            db.delete_before(entry.cutoff, exclude_suffix=entry.exclude_suffix)
+    for item in iter_batches(source, strict=strict, format=format):
+        if isinstance(item, DeleteBefore):
+            db.delete_before(item.cutoff, exclude_suffix=item.exclude_suffix)
         else:
-            builder.add_point(entry)
-            if len(builder) >= _LOAD_CHUNK:
-                db.put_batch(builder.build())
-    db.put_batch(builder.build())
+            db.put_batch(item)
     return db
 
 
-def snapshot(db: "TimeSeriesStore", path: str | os.PathLike[str]) -> int:
-    """Write a whole store as a sorted, deduplicated log.
+#: Binary snapshots flush a batch block at this many rows.
+_SNAPSHOT_CHUNK = 65_536
 
-    Returns the number of points written.  Snapshots are normal logs, so
+
+def snapshot(
+    db: "TimeSeriesStore", path: str | os.PathLike[str], *, format: str = "text"
+) -> int:
+    """Write a whole store as a sorted, deduplicated log or segment.
+
+    Returns the number of points written.  Snapshots are normal WALs, so
     ``load`` restores them; they are smaller than the raw WAL because
     overwritten duplicates are gone.  Works on any store — the iteration
     order is canonical (metric, then key), so a sharded store snapshots
-    byte-identically to a single store with the same contents.
+    byte-identically to a single store with the same contents.  With
+    ``format="binary"`` whole series columns stream into segment blocks
+    and no per-point objects are created.
     """
+    if _write_format(format) == "binary":
+        with SegmentWriter(path, append=False) as writer:
+            writer.comment("repro.tsdb snapshot")
+            _snapshot_columns(db, writer)
+            return writer.written
     n = 0
     with open(path, "w", encoding="utf-8") as fh:
         writer = LogWriter(fh)
@@ -294,10 +428,71 @@ def snapshot(db: "TimeSeriesStore", path: str | os.PathLike[str]) -> int:
     return n
 
 
-def dumps(db: "TimeSeriesStore") -> str:
-    """Snapshot to a string (round-trips through ``load``)."""
-    buf = io.StringIO()
-    writer = LogWriter(buf)
+def _snapshot_columns(db: "TimeSeriesStore", writer: SegmentWriter) -> None:
+    """Stream every series' columns into chunked batch blocks, keeping
+    the canonical (metric, then key) order of ``iter_series``."""
+    builder = BatchBuilder()
+    for key, sl in db.iter_series():
+        if len(sl) == 0:
+            continue
+        builder.add_series(key.metric, sl.timestamps, sl.values, key.tag_dict())
+        if len(builder) >= _SNAPSHOT_CHUNK:
+            writer.write_batch(builder.build())
+    if len(builder):
+        writer.write_batch(builder.build())
+
+
+def dumps(db: "TimeSeriesStore", *, format: str = "text") -> str | bytes:
+    """Snapshot to a string (text) or bytes (binary); round-trips
+    through ``load`` either way."""
+    if _write_format(format) == "binary":
+        buf = io.BytesIO()
+        writer = SegmentWriter(buf)
+        _snapshot_columns(db, writer)
+        writer.flush()
+        return buf.getvalue()
+    sbuf = io.StringIO()
+    text_writer = LogWriter(sbuf)
     for point in db.iter_points():
-        writer.write(point)
-    return buf.getvalue()
+        text_writer.write(point)
+    return sbuf.getvalue()
+
+
+def convert_log(
+    src,
+    dst: str | os.PathLike[str],
+    *,
+    format: str = "binary",
+    strict: bool = True,
+) -> tuple[int, int]:
+    """Migrate a WAL/snapshot between formats; returns (points, markers).
+
+    The source format is auto-detected, so this converts text→binary
+    (the upgrade path for pre-segment logs), binary→text (debugging:
+    segments become human-readable), or same→same (which compacts a
+    lenient read of a damaged file into a clean one).  The destination
+    is truncated, not appended to.
+    """
+    fmt = _write_format(format)
+    if isinstance(src, (str, os.PathLike)):
+        if Path(src).resolve() == Path(dst).resolve():
+            raise ValueError(
+                f"convert_log source and destination are the same file ({src}); "
+                "truncating the destination would destroy the source"
+            )
+        detect_format(src)  # probe src first: a missing/unreadable source
+        # must not leave a truncated stub behind at dst.
+    points = markers = 0
+    writer: SegmentWriter | LogWriter = (
+        SegmentWriter(dst, append=False)
+        if fmt == "binary"
+        else LogWriter(dst, append=False)
+    )
+    with writer:
+        for item in iter_batches(src, strict=strict):
+            if isinstance(item, DeleteBefore):
+                writer.delete_before(item.cutoff, exclude_suffix=item.exclude_suffix)
+                markers += 1
+            else:
+                points += writer.write_batch(item)
+    return points, markers

@@ -27,7 +27,7 @@ from .model import DataPoint, SeriesKey
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .interface import TimeSeriesStore
-    from .persistence import LogWriter
+    from .persistence import LogWriter, SegmentWriter
     from .sharded import ShardedTSDB
 
 
@@ -154,7 +154,7 @@ class PerShardRetention:
         db: "ShardedTSDB",
         now: int,
         *,
-        wal: "Sequence[LogWriter | None] | None" = None,
+        wal: "Sequence[LogWriter | SegmentWriter | None] | None" = None,
     ) -> tuple[RolledUp | None, ...]:
         if len(self.policies) != db.num_shards:
             raise ValueError(
@@ -215,7 +215,9 @@ class _WalTeeStore:
     the shard that owns the series, keeping per-shard logs replayable.
     """
 
-    def __init__(self, db: "ShardedTSDB", wal: "Sequence[LogWriter | None]") -> None:
+    def __init__(
+        self, db: "ShardedTSDB", wal: "Sequence[LogWriter | SegmentWriter | None]"
+    ) -> None:
         self._db = db
         self._wal = wal
 

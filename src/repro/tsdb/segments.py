@@ -1,0 +1,515 @@
+"""Binary columnar segment format: durability at batch granularity.
+
+The line protocol in :mod:`~repro.tsdb.persistence` formats and parses
+every point through Python string machinery — at columnar ingest rates
+(~10M pts/s) the log costs more than the ingest itself.  This module
+persists data the way the hot path moves it: whole
+:class:`~repro.tsdb.batch.PointBatch` columns, encoded and decoded with
+``ndarray.tobytes``/``np.frombuffer`` and no per-point Python objects.
+
+Segment file layout (all integers little-endian)::
+
+    file   = magic · block*
+    magic  = b"RSEG\\x00\\x01\\r\\n"          (8 bytes; last two catch
+                                               text-mode newline mangling)
+    block  = u8 type · u32 payload_len · u32 crc32(payload) · payload
+
+Block types:
+
+``0x01`` **batch** — one :class:`PointBatch` as columns::
+
+    u32 n_keys
+    n_keys × (u16 len · utf-8 canonical key "metric{k=v,...}")
+    u32 n_rows
+    u32[n_rows] key_idx          (dictionary-encoded series keys)
+    i64[n_rows] ts deltas        (delta[0] = ts[0]; decode = cumsum)
+    f64[n_rows] values           (raw IEEE-754 bits)
+
+``0x02`` **marker** — a typed control block, the binary twin of the
+text protocol's ``!delete_before`` line::
+
+    u8 kind (1 = delete_before) · i64 cutoff
+    u8 has_exclude · u16 len · utf-8 exclude suffix
+
+``0x03`` **comment** — utf-8 text; readers skip it.
+
+Every block carries a CRC-32 covering its type, length, and payload, so
+corruption never goes undetected.  ``strict=False`` recovery is
+prefix-preserving: damaged *payload* bytes lose exactly that block (the
+intact length prefix lets the reader skip it); a damaged *length* field
+is indistinguishable from a torn tail, so recovery keeps every block up
+to the damage and stops — the same contract as the text protocol's
+lenient mode, at block rather than line granularity.  Row order inside
+a batch block is preserved exactly, so replay keeps last-write-wins
+semantics and markers interleave with batch blocks at their original
+positions.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator
+
+import numpy as np
+
+from .batch import BatchBuilder, PointBatch
+from .model import DataPoint, SeriesKey
+
+#: First bytes of every segment file (includes the format version).
+SEGMENT_MAGIC = b"RSEG\x00\x01\r\n"
+
+_HEADER = struct.Struct("<BII")  # block type, payload length, crc32
+_HEADER_PREFIX = struct.Struct("<BI")  # the crc-covered header fields
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_MARKER_HEAD = struct.Struct("<bqB")  # kind, cutoff, has_exclude
+
+_BLOCK_BATCH = 0x01
+_BLOCK_MARKER = 0x02
+_BLOCK_COMMENT = 0x03
+
+_KIND_DELETE_BEFORE = 1
+
+#: Batches larger than this split across blocks (u32 payload bound).
+_MAX_BLOCK_ROWS = 1 << 26
+
+
+@dataclass(frozen=True, slots=True)
+class DeleteBefore:
+    """Replayable retention marker: drop points older than ``cutoff``.
+
+    Shared by both durability formats — the text protocol renders it as
+    a ``!delete_before`` line, the segment format as a marker block.
+    """
+
+    cutoff: int
+    exclude_suffix: str | None = None
+
+
+class SegmentCorruption(ValueError):
+    """A segment block failed its structural or checksum validation."""
+
+    def __init__(self, offset: int, reason: str) -> None:
+        super().__init__(f"segment offset {offset}: {reason}")
+        self.offset = offset
+        self.reason = reason
+
+
+def parse_series_key(text: str) -> SeriesKey:
+    """Parse the canonical ``str(SeriesKey)`` form back into a key.
+
+    Unambiguous because the identifier charset forbids ``{``, ``}``,
+    ``,`` and ``=``; validation happens in :meth:`SeriesKey.make`, so a
+    corrupt key string raises rather than poisoning the store.
+    """
+    if text.endswith("}"):
+        metric, brace, inner = text[:-1].partition("{")
+        if not brace:
+            raise ValueError(f"malformed series key {text!r}")
+        tags: dict[str, str] = {}
+        if inner:
+            for part in inner.split(","):
+                k, eq, v = part.partition("=")
+                if not eq:
+                    raise ValueError(f"malformed tag pair {part!r} in {text!r}")
+                tags[k] = v
+        return SeriesKey.make(metric, tags)
+    return SeriesKey.make(text)
+
+
+# ---------------------------------------------------------------------------
+# Codec: payload <-> typed value (no framing, no I/O)
+# ---------------------------------------------------------------------------
+def encode_batch(batch: PointBatch) -> bytes:
+    """Encode one batch as a block payload (whole-column ``tobytes``)."""
+    parts: list[bytes] = [_U32.pack(len(batch.keys))]
+    for key in batch.keys:
+        raw = str(key).encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise ValueError(f"series key too long to encode: {len(raw)} bytes")
+        parts.append(_U16.pack(len(raw)))
+        parts.append(raw)
+    n = len(batch)
+    parts.append(_U32.pack(n))
+    parts.append(np.ascontiguousarray(batch.key_idx, dtype="<u4").tobytes())
+    ts = np.ascontiguousarray(batch.timestamps, dtype="<i8")
+    parts.append(np.diff(ts, prepend=ts.dtype.type(0)).tobytes())
+    parts.append(np.ascontiguousarray(batch.values, dtype="<f8").tobytes())
+    return b"".join(parts)
+
+
+def decode_batch(payload: bytes) -> PointBatch:
+    """Decode a batch payload; columns come straight off ``frombuffer``."""
+    off = 0
+    try:
+        (n_keys,) = _U32.unpack_from(payload, off)
+        off += 4
+        keys = []
+        for _ in range(n_keys):
+            (klen,) = _U16.unpack_from(payload, off)
+            off += 2
+            keys.append(parse_series_key(payload[off : off + klen].decode("utf-8")))
+            off += klen
+        (n_rows,) = _U32.unpack_from(payload, off)
+        off += 4
+    except (struct.error, UnicodeDecodeError, ValueError) as exc:
+        raise ValueError(f"bad batch block: {exc}") from None
+    if len(payload) - off != n_rows * 20:  # u4 idx + i8 delta + f8 value
+        raise ValueError(
+            f"bad batch block: {n_rows} rows need {n_rows * 20} column bytes, "
+            f"found {len(payload) - off}"
+        )
+    key_idx = np.frombuffer(payload, "<u4", n_rows, off).astype(np.intp)
+    off += 4 * n_rows
+    deltas = np.frombuffer(payload, "<i8", n_rows, off)
+    off += 8 * n_rows
+    values = np.frombuffer(payload, "<f8", n_rows, off)
+    timestamps = np.cumsum(deltas, dtype=np.int64)
+    return PointBatch(tuple(keys), key_idx, timestamps, values)
+
+
+def encode_marker(marker: DeleteBefore) -> bytes:
+    suffix = (marker.exclude_suffix or "").encode("utf-8")
+    head = _MARKER_HEAD.pack(
+        _KIND_DELETE_BEFORE,
+        int(marker.cutoff),
+        1 if marker.exclude_suffix is not None else 0,
+    )
+    return head + _U16.pack(len(suffix)) + suffix
+
+
+def decode_marker(payload: bytes) -> DeleteBefore:
+    try:
+        kind, cutoff, has_exclude = _MARKER_HEAD.unpack_from(payload, 0)
+        (slen,) = _U16.unpack_from(payload, _MARKER_HEAD.size)
+        raw = payload[_MARKER_HEAD.size + 2 : _MARKER_HEAD.size + 2 + slen]
+        suffix = raw.decode("utf-8")
+    except (struct.error, UnicodeDecodeError) as exc:
+        raise ValueError(f"bad marker block: {exc}") from None
+    if kind != _KIND_DELETE_BEFORE:
+        raise ValueError(f"unknown marker kind {kind}")
+    if len(raw) != slen:
+        raise ValueError("bad marker block: truncated exclude suffix")
+    return DeleteBefore(cutoff, suffix if has_exclude else None)
+
+
+def _frame(block_type: int, payload: bytes) -> bytes:
+    # The CRC covers the type and length fields too, so header damage is
+    # detected as corruption rather than trusted as framing.
+    crc = zlib.crc32(payload, zlib.crc32(_HEADER_PREFIX.pack(block_type, len(payload))))
+    return _HEADER.pack(block_type, len(payload), crc) + payload
+
+
+def _clean_length(path: Path) -> int:
+    """Byte offset of the end of the last structurally complete block.
+
+    Walks headers and seeks over payloads (no payload reads, no CRC
+    work), so reopening a multi-GB WAL stays cheap; a header or payload
+    cut short by a torn write marks the clean end.
+    """
+    size = path.stat().st_size
+    with open(path, "rb") as fh:
+        clean = len(SEGMENT_MAGIC)
+        fh.seek(clean)
+        while True:
+            header = fh.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                return clean
+            _, plen, _ = _HEADER.unpack(header)
+            end = clean + _HEADER.size + plen
+            if end > size:
+                return clean
+            fh.seek(end)
+            clean = end
+
+
+# ---------------------------------------------------------------------------
+# Writer
+# ---------------------------------------------------------------------------
+class SegmentWriter:
+    """Append-only segment writer; the binary twin of ``LogWriter``.
+
+    Accepts whole batches (:meth:`write_batch`, the hot path) and the
+    per-point surface retention tees rely on (:meth:`write`,
+    :meth:`write_many`, :meth:`delete_before`) — per-point writes buffer
+    in a :class:`BatchBuilder` and land as one batch block, flushed
+    before any marker or comment so stream order is preserved.
+    """
+
+    def __init__(
+        self, path: str | os.PathLike[str] | BinaryIO, *, append: bool = True
+    ) -> None:
+        if isinstance(path, (str, os.PathLike)):
+            self._path: Path | None = Path(path)
+            fresh = (
+                not append
+                or not self._path.exists()
+                or self._path.stat().st_size == 0
+            )
+            if fresh:
+                self._fh: BinaryIO = open(self._path, "wb")
+                self._owns = True
+                self._fh.write(SEGMENT_MAGIC)
+                self._fh.flush()
+            else:
+                # Reopening an existing WAL (e.g. after a restart): drop
+                # a torn tail *before* appending.  The format has no
+                # resync marker — a partial block's length prefix would
+                # swallow the start of whatever we append after it, so
+                # blocks written post-restart would be unrecoverable.
+                with open(self._path, "rb") as probe:
+                    if probe.read(len(SEGMENT_MAGIC)) != SEGMENT_MAGIC:
+                        raise SegmentCorruption(
+                            0, f"{self._path} is not a segment file; refusing to append"
+                        )
+                clean = _clean_length(self._path)
+                self._fh = open(self._path, "r+b")
+                self._fh.seek(clean)
+                self._fh.truncate(clean)
+                self._owns = True
+        else:
+            self._path = None
+            self._fh = path
+            self._owns = False
+            if not self._fh.seekable() or self._fh.tell() == 0:
+                self._fh.write(SEGMENT_MAGIC)
+        self._written = 0
+        self._pending = BatchBuilder()
+
+    @property
+    def written(self) -> int:
+        """Points written (markers and comments don't count)."""
+        return self._written
+
+    def write_batch(self, batch: PointBatch) -> int:
+        """Append one batch as (usually) one checksummed block.
+
+        Flushes per batch, like the text twin — WAL hooks rely on the
+        block being on disk before the batch becomes visible in the
+        store (durability precedes visibility)."""
+        frames, npend = self._pending_frames()
+        for lo in range(0, len(batch), _MAX_BLOCK_ROWS):
+            frames.append(
+                _frame(_BLOCK_BATCH, encode_batch(batch.rows(lo, lo + _MAX_BLOCK_ROWS)))
+            )
+        self._emit(frames, npend + len(batch))
+        return len(batch)
+
+    def write(self, point: DataPoint) -> None:
+        """Buffer one point; it lands in the next batch block."""
+        self._pending.add_point(point)
+
+    def write_many(self, points: Iterable[DataPoint]) -> int:
+        """Buffer many points and flush them as one block; returns the
+        number of points passed in (not previously buffered ones)."""
+        before = len(self._pending)
+        for p in points:
+            self._pending.add_point(p)
+        n = len(self._pending) - before
+        self.flush()
+        return n
+
+    def delete_before(
+        self, cutoff: int, *, exclude_suffix: str | None = None
+    ) -> None:
+        """Append a retention marker block (flushes immediately — a
+        buffered marker lost in a crash would resurrect deleted points
+        on replay, exactly as in the text protocol)."""
+        frames, npend = self._pending_frames()
+        frames.append(
+            _frame(_BLOCK_MARKER, encode_marker(DeleteBefore(int(cutoff), exclude_suffix)))
+        )
+        self._emit(frames, npend)
+
+    def comment(self, text: str) -> None:
+        frames, npend = self._pending_frames()
+        frames.append(_frame(_BLOCK_COMMENT, text.encode("utf-8")))
+        self._emit(frames, npend)
+
+    def _pending_frames(self) -> tuple[list[bytes], int]:
+        """The buffered per-point writes as a frame, without clearing
+        them — the buffer resets only once the emit succeeds."""
+        if not len(self._pending):
+            return [], 0
+        batch = self._pending.build(clear=False)
+        return [_frame(_BLOCK_BATCH, encode_batch(batch))], len(batch)
+
+    def _emit(self, frames: list[bytes], points: int) -> None:
+        """Write and flush whole frames; all-or-nothing on disk.
+
+        On a failed write (disk full mid-frame), a torn frame left on
+        disk would swallow everything appended after it on replay — the
+        format has no resync marker.  For writers that own their file,
+        roll the file back to the pre-emit offset so the WAL stays
+        appendable and the caller can simply retry.
+        """
+        if not frames:
+            return
+        data = b"".join(frames)
+        if self._owns and self._path is not None:
+            clean = self._fh.tell()
+            try:
+                self._fh.write(data)
+                self._fh.flush()
+            except BaseException:
+                self._rollback(clean)
+                raise
+        else:
+            self._fh.write(data)
+            self._fh.flush()
+        self._written += points
+        if points:
+            self._pending = BatchBuilder()
+
+    def _rollback(self, clean: int) -> None:
+        """Drop torn frame bytes: close the (possibly dirty) handle,
+        truncate to the last clean offset, reopen for append."""
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+        try:
+            with open(self._path, "r+b") as fh:
+                fh.truncate(clean)
+        except OSError:
+            return  # nothing recoverable; the next write fails loudly
+        self._fh = open(self._path, "ab")
+
+    def flush(self) -> None:
+        frames, npend = self._pending_frames()
+        self._emit(frames, npend)
+        self._fh.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "SegmentWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Reader
+# ---------------------------------------------------------------------------
+def iter_segments(
+    source: str | os.PathLike[str] | BinaryIO, *, strict: bool = True
+) -> Iterator[PointBatch | DeleteBefore]:
+    """Yield batch blocks and control markers from a segment, in order.
+
+    With ``strict=False``, a block whose checksum or structure fails is
+    skipped by its length prefix, and a truncated tail (or a corrupted
+    length field, which is indistinguishable from one) ends iteration
+    cleanly after the last clean block — the unclean-shutdown recovery
+    path.  A missing or wrong magic always raises: that is a different
+    *format*, not a damaged segment.
+    """
+    for offset, block_type, payload in _iter_blocks(source, strict=strict):
+        try:
+            if block_type == _BLOCK_BATCH:
+                item: PointBatch | DeleteBefore | None = decode_batch(payload)
+            elif block_type == _BLOCK_MARKER:
+                item = decode_marker(payload)
+            elif block_type == _BLOCK_COMMENT:
+                item = None
+            else:
+                raise ValueError(f"unknown block type 0x{block_type:02x}")
+        except ValueError as exc:
+            if strict:
+                raise SegmentCorruption(offset, str(exc)) from None
+            continue
+        if item is not None:
+            yield item
+
+
+def _iter_blocks(
+    source: str | os.PathLike[str] | BinaryIO, *, strict: bool
+) -> Iterator[tuple[int, int, bytes]]:
+    """The framing walk under every reader: yield CRC-validated
+    ``(offset, block_type, payload)`` triples, applying the lenient
+    skip/stop rules for damaged or truncated blocks."""
+    if isinstance(source, (str, os.PathLike)):
+        fh: BinaryIO = open(source, "rb")
+        owns = True
+    else:
+        fh = source
+        owns = False
+    try:
+        head = fh.read(len(SEGMENT_MAGIC))
+        if head != SEGMENT_MAGIC:
+            raise SegmentCorruption(0, f"bad segment magic {head!r}")
+        offset = len(SEGMENT_MAGIC)
+        while True:
+            header = fh.read(_HEADER.size)
+            if not header:
+                return
+            if len(header) < _HEADER.size:
+                if strict:
+                    raise SegmentCorruption(offset, "truncated block header")
+                return
+            block_type, plen, crc = _HEADER.unpack(header)
+            payload = fh.read(plen)
+            if len(payload) < plen:
+                if strict:
+                    raise SegmentCorruption(
+                        offset, f"truncated payload ({len(payload)}/{plen} bytes)"
+                    )
+                return
+            start = offset
+            offset += _HEADER.size + plen
+            expect = zlib.crc32(payload, zlib.crc32(header[: _HEADER_PREFIX.size]))
+            if expect != crc:
+                if strict:
+                    raise SegmentCorruption(start, "block checksum mismatch")
+                continue
+            yield start, block_type, payload
+    finally:
+        if owns:
+            fh.close()
+
+
+def segment_point_count(
+    source: str | os.PathLike[str] | BinaryIO, *, strict: bool = True
+) -> int:
+    """Total rows across a segment's batch blocks (markers excluded).
+
+    A framing walk only — CRCs are validated but columns are never
+    decoded, so counting a large spill backlog at adoption time costs
+    one read pass, not a full columnar decode.
+    """
+    total = 0
+    for offset, block_type, payload in _iter_blocks(source, strict=strict):
+        if block_type != _BLOCK_BATCH:
+            continue
+        try:
+            total += _batch_row_count(payload)
+        except ValueError as exc:
+            if strict:
+                raise SegmentCorruption(offset, str(exc)) from None
+    return total
+
+
+def _batch_row_count(payload: bytes) -> int:
+    """Row count of a batch payload, skipping the key dictionary and
+    columns; validates the same structure ``decode_batch`` would."""
+    off = 0
+    try:
+        (n_keys,) = _U32.unpack_from(payload, off)
+        off += 4
+        for _ in range(n_keys):
+            (klen,) = _U16.unpack_from(payload, off)
+            off += 2 + klen
+        (n_rows,) = _U32.unpack_from(payload, off)
+        off += 4
+    except struct.error as exc:
+        raise ValueError(f"bad batch block: {exc}") from None
+    if len(payload) - off != n_rows * 20:
+        raise ValueError("bad batch block: column bytes disagree with row count")
+    return n_rows

@@ -193,6 +193,89 @@ class TestSpill:
         assert q.spill_pending_points == 25
         assert drained_timestamps(q.drain()) == list(range(25))
 
+    def test_spill_segments_are_binary(self, tmp_path):
+        """Spill now writes binary columnar segments, not text lines."""
+        from repro.tsdb import detect_format
+
+        q = AsyncBatchQueue(10, Backpressure.SPILL, spill_dir=tmp_path)
+        q.offer(make_batch(0, 10))
+        q.offer(make_batch(10, 10))  # first batch spills
+        (seg,) = list(tmp_path.iterdir())
+        assert seg.suffix == ".seg"
+        assert detect_format(seg) == "binary"
+
+    def test_binary_leftover_segments_adopted_on_restart(self, tmp_path):
+        """Crash recovery in the binary format: a new queue adopts the
+        previous process's .seg spill files and drains them first."""
+        q1 = AsyncBatchQueue(10, Backpressure.SPILL, spill_dir=tmp_path)
+        q1.offer(make_batch(0, 10))
+        q1.offer(make_batch(10, 10))  # spills batch 0 as a .seg segment
+        assert q1.spill_pending_points == 10
+        del q1  # "crash"
+
+        q2 = AsyncBatchQueue(10, Backpressure.SPILL, spill_dir=tmp_path)
+        assert q2.spill_pending_points == 10
+        q2.offer(make_batch(100, 10))
+        out = []
+        while not q2.is_empty():
+            out.extend(drained_timestamps(q2.drain()))
+        assert out[:10] == list(range(10))  # adopted rows replay first
+        assert out[10:] == list(range(100, 110))
+        assert q2.stats.accepted_points == q2.stats.drained_points == 20
+        assert list(tmp_path.iterdir()) == []
+
+    def test_torn_leftover_segment_adopts_clean_prefix(self, tmp_path):
+        """A spill segment truncated by the crash itself must not kill
+        lane construction; its clean prefix is adopted and drains."""
+        q1 = AsyncBatchQueue(10, Backpressure.SPILL, spill_dir=tmp_path)
+        q1.offer(make_batch(0, 10))
+        q1.offer(make_batch(10, 10))   # spills batch 0
+        q1.offer(make_batch(20, 10))   # spills batch 1 (second segment)
+        (seg0, _seg1) = sorted(tmp_path.iterdir())
+        seg0.write_bytes(seg0.read_bytes()[:-5])  # torn tail on segment 0
+        del q1  # crash
+
+        q2 = AsyncBatchQueue(10, Backpressure.SPILL, spill_dir=tmp_path)
+        # Segment 0's torn block is lost; segment 1 is intact.
+        assert q2.spill_pending_points == 10
+        out = []
+        while not q2.is_empty():
+            out.extend(drained_timestamps(q2.drain()))
+        assert out == list(range(10, 20))
+
+    def test_unrelated_files_in_spill_dir_are_ignored(self, tmp_path):
+        """Files not matching the spill-<seq> naming (operator backups,
+        editor droppings) must not crash lane construction or be
+        adopted/deleted."""
+        (tmp_path / "spill-backup.log").write_text("m 1 2.0\n")
+        (tmp_path / "notes.txt").write_text("keep me\n")
+        q = AsyncBatchQueue(10, Backpressure.SPILL, spill_dir=tmp_path)
+        assert q.spill_pending_points == 0
+        q.offer(make_batch(0, 10))
+        q.offer(make_batch(10, 10))  # spills
+        while not q.is_empty():
+            q.drain()
+        survivors = {p.name for p in tmp_path.iterdir()}
+        assert survivors == {"spill-backup.log", "notes.txt"}
+
+    def test_legacy_text_segments_adopted_alongside_binary(self, tmp_path):
+        """A spill dir left by a pre-segment process (text .log files)
+        mixes with new binary spill: adoption orders by sequence number
+        and auto-detects each file's format."""
+        from repro.tsdb import LogWriter
+
+        with LogWriter(tmp_path / "spill-00000000.log") as w:
+            w.write_many(list(make_batch(0, 5).iter_points()))
+        q = AsyncBatchQueue(10, Backpressure.SPILL, spill_dir=tmp_path)
+        assert q.spill_pending_points == 5  # legacy segment adopted
+        q.offer(make_batch(100, 10))
+        q.offer(make_batch(110, 10))  # spills as binary under the next seq
+        out = []
+        while not q.is_empty():
+            out.extend(drained_timestamps(q.drain()))
+        assert out == list(range(5)) + list(range(100, 120))
+        assert list(tmp_path.iterdir()) == []
+
 
 # -- hypothesis: invariants under arbitrary operation sequences ----------
 ops = st.lists(

@@ -1,0 +1,642 @@
+"""Binary columnar segment persistence: codec, equivalence, recovery.
+
+Pins the new durability fast path to the text line protocol:
+
+- the batch/marker codec round-trips bit-exactly (hypothesis: arbitrary
+  metrics, tags, out-of-order timestamps, duplicate keys, NaN values);
+- a store restored from a binary WAL/snapshot is byte-identical (via
+  ``dumps``) to one restored from the equivalent text log, for single
+  and sharded stores and with interleaved retention markers;
+- per-block CRCs turn corruption into per-block loss under
+  ``strict=False`` and loud failure under ``strict=True``;
+- the dataport WAL hook and the CLI ``convert-log`` migration replay
+  losslessly.
+"""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main as cli_main
+from repro.dataport import BatchingTsdbWriter
+from repro.tsdb import (
+    BatchBuilder,
+    DataPoint,
+    DeleteBefore,
+    LogWriter,
+    PointBatch,
+    Query,
+    SegmentCorruption,
+    SegmentWriter,
+    ShardedTSDB,
+    TSDB,
+    convert_log,
+    detect_format,
+    dumps,
+    iter_batches,
+    iter_segments,
+    load,
+    parse_series_key,
+    segment_point_count,
+    snapshot,
+)
+from repro.tsdb.segments import SEGMENT_MAGIC, decode_batch, encode_batch
+
+
+def make_point(metric="m", ts=100, val=1.5, tags=None):
+    return DataPoint.make(metric, ts, val, tags or {"node": "a"})
+
+
+def mixed_batch() -> PointBatch:
+    """Two series, interleaved rows, out-of-order + duplicate timestamps."""
+    b = BatchBuilder()
+    for ts, val in ((30, 1.0), (10, 2.0), (10, 3.0), (20, float("nan"))):
+        b.add("air.co2.ppm", ts, val, {"node": "n1", "city": "trondheim"})
+        b.add("plain", ts + 1, -val)
+    return b.build()
+
+
+def assert_batches_equal(a: PointBatch, b: PointBatch) -> None:
+    """Bit-exact equality: keys, dictionary indices, columns (NaN-safe)."""
+    assert a.keys == b.keys
+    assert np.array_equal(a.key_idx, b.key_idx)
+    assert np.array_equal(a.timestamps, b.timestamps)
+    assert a.values.tobytes() == b.values.tobytes()
+
+
+class TestCodec:
+    def test_batch_round_trip(self):
+        batch = mixed_batch()
+        assert_batches_equal(decode_batch(encode_batch(batch)), batch)
+
+    def test_empty_batch_round_trip(self):
+        assert len(decode_batch(encode_batch(PointBatch.empty()))) == 0
+
+    def test_parse_series_key_round_trip(self):
+        for key in mixed_batch().keys:
+            assert parse_series_key(str(key)) == key
+
+    def test_parse_series_key_rejects_garbage(self):
+        for bad in ("m{node", "m{node:a}", "m{=a}", "{a=b}", "bad name"):
+            with pytest.raises(ValueError):
+                parse_series_key(bad)
+
+    def test_decode_rejects_short_columns(self):
+        payload = encode_batch(mixed_batch())
+        with pytest.raises(ValueError, match="column bytes"):
+            decode_batch(payload[:-8])
+
+
+class TestSegmentWriterAndReader:
+    def test_wal_round_trip(self, tmp_path):
+        path = tmp_path / "wal.seg"
+        batch = mixed_batch()
+        with SegmentWriter(path) as w:
+            w.comment("header")
+            w.write_batch(batch)
+        assert w.written == len(batch)
+        items = list(iter_segments(path))
+        assert len(items) == 1  # comments are skipped
+        assert_batches_equal(items[0], batch)
+        assert segment_point_count(path) == len(batch)
+
+    def test_append_mode(self, tmp_path):
+        path = tmp_path / "wal.seg"
+        with SegmentWriter(path) as w:
+            w.write_batch(mixed_batch())
+        with SegmentWriter(path) as w:
+            w.write_batch(mixed_batch())
+        assert sum(len(b) for b in iter_segments(path)) == 2 * len(mixed_batch())
+
+    def test_refuses_to_append_to_text_log(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_text("m 1 2.0\n")
+        with pytest.raises(SegmentCorruption, match="not a segment file"):
+            SegmentWriter(path)
+
+    def test_per_point_writes_buffer_into_one_block(self, tmp_path):
+        path = tmp_path / "wal.seg"
+        with SegmentWriter(path) as w:
+            for i in range(10):
+                w.write(make_point(ts=i, val=float(i)))
+        items = list(iter_segments(path))
+        assert len(items) == 1 and len(items[0]) == 10
+
+    def test_marker_blocks_interleave_in_order(self, tmp_path):
+        path = tmp_path / "wal.seg"
+        with SegmentWriter(path) as w:
+            w.write(make_point(ts=1))
+            w.delete_before(5, exclude_suffix=".rollup")
+            w.write(make_point(ts=9))
+        items = list(iter_segments(path))
+        assert [type(i).__name__ for i in items] == [
+            "PointBatch", "DeleteBefore", "PointBatch",
+        ]
+        assert items[1] == DeleteBefore(5, ".rollup")
+        assert w.written == 2  # markers are not points
+
+    def test_reader_requires_magic(self, tmp_path):
+        path = tmp_path / "not-a-segment.seg"
+        path.write_text("m 1 2.0\n")
+        with pytest.raises(SegmentCorruption, match="magic"):
+            list(iter_segments(path))
+        # ... even in lenient mode: a wrong format is not a damaged file.
+        with pytest.raises(SegmentCorruption, match="magic"):
+            list(iter_segments(path, strict=False))
+
+
+class TestCorruptionRecovery:
+    def three_block_file(self, tmp_path):
+        path = tmp_path / "wal.seg"
+        with SegmentWriter(path) as w:
+            for base in (0, 100, 200):
+                w.write_many([make_point(ts=base + i) for i in range(5)])
+        return path
+
+    def corrupt_middle_block(self, path):
+        raw = bytearray(path.read_bytes())
+        # Blocks are identical size; flip a payload byte in the middle one.
+        block = (len(raw) - len(SEGMENT_MAGIC)) // 3
+        raw[len(SEGMENT_MAGIC) + block + 20] ^= 0xFF
+        path.write_bytes(bytes(raw))
+
+    def test_corrupt_block_raises_strict(self, tmp_path):
+        path = self.three_block_file(tmp_path)
+        self.corrupt_middle_block(path)
+        with pytest.raises(SegmentCorruption, match="checksum"):
+            list(iter_segments(path))
+
+    def test_corrupt_block_skipped_lenient(self, tmp_path):
+        """The length prefix bounds the damage: one bad CRC loses one
+        block, and the blocks after it still replay."""
+        path = self.three_block_file(tmp_path)
+        self.corrupt_middle_block(path)
+        items = list(iter_segments(path, strict=False))
+        assert [b.timestamps.min() for b in items] == [0, 200]
+        db = load(path, strict=False)
+        assert db.exact_point_count() == 10
+
+    def test_truncated_tail_recovery(self, tmp_path):
+        """Unclean shutdown: a half-written final block is dropped, the
+        clean prefix replays — mirroring the text protocol's contract."""
+        path = self.three_block_file(tmp_path)
+        raw = path.read_bytes()
+        for cut in (1, 7, 15):  # mid-payload, mid-header
+            path.write_bytes(raw[:-cut])
+            with pytest.raises(SegmentCorruption, match="truncated"):
+                list(iter_segments(path))
+            db = load(path, strict=False)
+            assert db.exact_point_count() == 10
+
+    def test_corrupted_length_field_keeps_clean_prefix(self, tmp_path):
+        """Header damage is CRC-detected; a bogus length can't be
+        trusted for framing, so lenient recovery keeps every block
+        before the damage (like a truncated tail) — never garbage."""
+        path = self.three_block_file(tmp_path)
+        raw = bytearray(path.read_bytes())
+        block = (len(raw) - len(SEGMENT_MAGIC)) // 3
+        raw[len(SEGMENT_MAGIC) + block + 2] ^= 0x40  # length field, block 2
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SegmentCorruption):
+            list(iter_segments(path))
+        recovered = load(path, strict=False)
+        assert recovered.exact_point_count() == 5  # block 1 survives
+        assert sorted(p.timestamp for p in recovered.iter_points()) == list(range(5))
+
+    def test_append_after_torn_tail_truncates_and_stays_readable(self, tmp_path):
+        """Reopening a WAL whose last block was torn by a crash must
+        drop the torn tail before appending — the format has no resync
+        marker, so blocks written after torn bytes would otherwise be
+        swallowed by the partial block's length prefix."""
+        path = self.three_block_file(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-7])  # torn mid-payload
+        with SegmentWriter(path) as w:  # restart: append mode
+            w.write_many([make_point(ts=500 + i) for i in range(5)])
+        db = load(path)  # strict: the file is clean again
+        assert db.exact_point_count() == 15  # 2 clean blocks + 5 new
+        assert sorted(p.timestamp for p in db.iter_points())[-1] == 504
+
+    def test_corrupt_magic_recovers_without_decode_crash(self, tmp_path):
+        """A damaged magic mis-detects the file as text; the recovery
+        contract must still hold: LogCorruption (handled corruption),
+        never a raw UnicodeDecodeError, and lenient load survives."""
+        path = self.three_block_file(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[0] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert detect_format(path) == "text"
+        from repro.tsdb import LogCorruption
+
+        with pytest.raises(LogCorruption):
+            load(path)
+        load(path, strict=False)  # recovers (no crash); garbage skipped
+        # convert-log --lenient ends with its friendly error path too.
+        assert (
+            cli_main(
+                ["convert-log", "--lenient", str(path), str(tmp_path / "o.seg")]
+            )
+            == 0
+        )
+
+    def test_corrupt_magic_binary_handle_recovers_too(self):
+        """The same corrupt-magic recovery contract holds for a
+        binary-mode *handle*, not just a path: bytes lines must not hit
+        the str line parser and crash with TypeError."""
+        db = TSDB()
+        db.put("m", 1, 2.0)
+        blob = bytearray(dumps(db, format="binary"))
+        blob[0] ^= 0xFF
+        from repro.tsdb import LogCorruption
+
+        with pytest.raises(LogCorruption):
+            load(io.BytesIO(bytes(blob)))
+        recovered = load(io.BytesIO(bytes(blob)), strict=False)
+        assert recovered.point_count == 0  # nothing parseable, no crash
+
+    def test_wal_write_failure_rolls_back_torn_frame(self, tmp_path):
+        """A write that dies mid-frame (disk full) must not leave torn
+        bytes: a retried append afterwards stays fully replayable."""
+        path = tmp_path / "wal.seg"
+        w = SegmentWriter(path)
+        w.write_batch(mixed_batch())
+
+        real_write = w._fh.write
+
+        def failing_write(data):
+            real_write(data[: len(data) // 2])  # torn: half the frame lands
+            raise OSError(28, "No space left on device")
+
+        w._fh.write = failing_write
+        with pytest.raises(OSError):
+            w.write_batch(mixed_batch())
+        # The torn frame was rolled back; appends after the failure replay.
+        w.write_batch(mixed_batch())
+        w.close()
+        items = list(iter_segments(path))  # strict: file is clean
+        assert sum(len(b) for b in items) == 2 * len(mixed_batch())
+
+    def test_empty_file_is_not_a_segment(self, tmp_path):
+        path = tmp_path / "empty.seg"
+        path.touch()
+        with pytest.raises(SegmentCorruption):
+            list(iter_segments(path))
+        assert detect_format(path) == "text"  # empty text log loads empty
+        assert load(path).point_count == 0
+
+
+def reference_ops(db):
+    """A workload with out-of-order rows, overwrites, and interleaved
+    retention — applied identically to live stores and WALs."""
+    for i in range(60):
+        db.put(f"m.{i % 4}", (i * 7) % 50, float(i), {"node": f"n{i % 3}"})
+    db.delete_before(20)
+    for i in range(20):
+        db.put("m.0", 5 + i, -float(i), {"node": "n9"})
+    db.delete_before(8, exclude_suffix=".rollup")
+
+
+def write_reference_wal(writer) -> None:
+    """The same workload as :func:`reference_ops`, as a WAL stream."""
+    for i in range(60):
+        writer.write(
+            DataPoint.make(f"m.{i % 4}", (i * 7) % 50, float(i), {"node": f"n{i % 3}"})
+        )
+    writer.delete_before(20)
+    for i in range(20):
+        writer.write(DataPoint.make("m.0", 5 + i, -float(i), {"node": "n9"}))
+    writer.delete_before(8, exclude_suffix=".rollup")
+
+
+class TestFormatEquivalence:
+    def test_wal_replay_matches_text_and_live(self, tmp_path):
+        live = TSDB()
+        reference_ops(live)
+        with LogWriter(tmp_path / "wal.log") as w:
+            write_reference_wal(w)
+        with SegmentWriter(tmp_path / "wal.seg") as w:
+            write_reference_wal(w)
+        from_text = load(tmp_path / "wal.log")
+        from_binary = load(tmp_path / "wal.seg")
+        assert dumps(from_binary) == dumps(from_text) == dumps(live)
+
+    @pytest.mark.parametrize("shards", [1, 3, 7])
+    def test_replay_into_sharded_store(self, tmp_path, shards):
+        with SegmentWriter(tmp_path / "wal.seg") as w:
+            write_reference_wal(w)
+        single = load(tmp_path / "wal.seg")
+        sharded = load(tmp_path / "wal.seg", into=ShardedTSDB(shards))
+        assert dumps(sharded) == dumps(single)
+        assert sharded.metrics() == single.metrics()
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_sharded_snapshot_dir_round_trip(self, tmp_path, shards):
+        db = ShardedTSDB(shards)
+        reference_ops(db)
+        db.snapshot_to_dir(tmp_path / "text", format="text")
+        db.snapshot_to_dir(tmp_path / "bin", format="binary")
+        assert all(p.suffix == ".seg" for p in (tmp_path / "bin").iterdir())
+        from_text = ShardedTSDB.restore_from_dir(tmp_path / "text")
+        from_bin = ShardedTSDB.restore_from_dir(tmp_path / "bin")
+        assert dumps(from_bin) == dumps(from_text) == dumps(db)
+        # iter_points order is canonical and identical across formats.
+        assert [str(p.key) for p in from_bin.iter_points()] == [
+            str(p.key) for p in from_text.iter_points()
+        ]
+
+    def test_mixed_format_snapshot_restores(self, tmp_path):
+        """A partially migrated snapshot dir (some shards converted to
+        .seg, some still .log) restores by per-file auto-detection."""
+        db = ShardedTSDB(2)
+        reference_ops(db)
+        db.snapshot_to_dir(tmp_path, format="text")
+        convert_log(
+            tmp_path / "shard-0-of-2.log", tmp_path / "shard-0-of-2.seg"
+        )
+        (tmp_path / "shard-0-of-2.log").unlink()
+        assert dumps(ShardedTSDB.restore_from_dir(tmp_path)) == dumps(db)
+
+    def test_failed_resnapshot_preserves_prior_snapshot(self, tmp_path, monkeypatch):
+        """A mid-snapshot failure (disk full on one shard) must leave
+        the previous snapshot restorable: no good files deleted, no
+        duplicate twins left behind."""
+        from repro.tsdb import persistence as pmod
+
+        db = ShardedTSDB(2)
+        reference_ops(db)
+        db.snapshot_to_dir(tmp_path, format="text")
+        real_snapshot = pmod.snapshot
+
+        def failing_snapshot(store, path, **kw):
+            if "shard-1-" in str(path):
+                raise OSError(28, "No space left on device")
+            return real_snapshot(store, path, **kw)
+
+        monkeypatch.setattr(pmod, "snapshot", failing_snapshot)
+        with pytest.raises(OSError):
+            db.snapshot_to_dir(tmp_path, format="binary")
+        monkeypatch.undo()
+        # The old text snapshot is whole and restorable; no .tmp litter.
+        assert {p.suffix for p in tmp_path.iterdir()} == {".log"}
+        assert dumps(ShardedTSDB.restore_from_dir(tmp_path)) == dumps(db)
+
+    def test_resnapshot_in_other_format_replaces_stale_twins(self, tmp_path):
+        """Re-snapshotting a directory in the other format must not
+        leave the old format's files behind as duplicates."""
+        db = ShardedTSDB(2)
+        reference_ops(db)
+        db.snapshot_to_dir(tmp_path, format="text")
+        db.snapshot_to_dir(tmp_path, format="binary")
+        assert {p.suffix for p in tmp_path.iterdir()} == {".seg"}
+        assert dumps(ShardedTSDB.restore_from_dir(tmp_path)) == dumps(db)
+
+    def test_resnapshot_with_other_shard_count_replaces_stale_files(self, tmp_path):
+        """Re-snapshotting with a different shard count removes the old
+        count's files, keeping the directory single-snapshot restorable."""
+        big = ShardedTSDB(4)
+        reference_ops(big)
+        big.snapshot_to_dir(tmp_path, format="binary")
+        small = ShardedTSDB(2)
+        reference_ops(small)
+        small.snapshot_to_dir(tmp_path, format="binary")
+        assert {p.name for p in tmp_path.iterdir()} == {
+            "shard-0-of-2.seg", "shard-1-of-2.seg",
+        }
+        assert dumps(ShardedTSDB.restore_from_dir(tmp_path)) == dumps(small)
+
+    def test_duplicate_shard_files_fail_loudly(self, tmp_path):
+        db = ShardedTSDB(2)
+        reference_ops(db)
+        db.snapshot_to_dir(tmp_path, format="text")
+        convert_log(
+            tmp_path / "shard-0-of-2.log", tmp_path / "shard-0-of-2.seg"
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            ShardedTSDB.restore_from_dir(tmp_path)
+
+    def test_snapshot_queries_match_across_formats(self, tmp_path):
+        db = TSDB()
+        reference_ops(db)
+        snapshot(db, tmp_path / "s.log", format="text")
+        snapshot(db, tmp_path / "s.seg", format="binary")
+        q = Query("m.0", 0, 100, tags={"node": "*"}, downsample="10s-avg")
+        a = load(tmp_path / "s.log").run(q).single()
+        b = load(tmp_path / "s.seg").run(q).single()
+        assert np.array_equal(a.timestamps, b.timestamps)
+        assert a.values.tobytes() == b.values.tobytes()
+
+    def test_dumps_binary_round_trip(self):
+        db = TSDB()
+        reference_ops(db)
+        blob = dumps(db, format="binary")
+        assert isinstance(blob, bytes) and blob.startswith(SEGMENT_MAGIC)
+        assert dumps(load(io.BytesIO(blob))) == dumps(db)
+
+    def test_iter_batches_text_chunks_at_markers(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with LogWriter(path) as w:
+            w.write(make_point(ts=1))
+            w.delete_before(2)
+            w.write(make_point(ts=3))
+        items = list(iter_batches(path))
+        kinds = [type(i).__name__ for i in items]
+        assert kinds == ["PointBatch", "DeleteBefore", "PointBatch"]
+
+
+class TestConvertLog:
+    def build_text_log(self, path):
+        with LogWriter(path) as w:
+            write_reference_wal(w)
+
+    def test_text_to_binary_and_back(self, tmp_path):
+        self.build_text_log(tmp_path / "wal.log")
+        convert_log(tmp_path / "wal.log", tmp_path / "wal.seg", format="binary")
+        convert_log(tmp_path / "wal.seg", tmp_path / "back.log", format="text")
+        ref = dumps(load(tmp_path / "wal.log"))
+        assert dumps(load(tmp_path / "wal.seg")) == ref
+        assert dumps(load(tmp_path / "back.log")) == ref
+
+    def test_counts(self, tmp_path):
+        self.build_text_log(tmp_path / "wal.log")
+        points, markers = convert_log(tmp_path / "wal.log", tmp_path / "wal.seg")
+        assert points == 80 and markers == 2
+
+    def test_lenient_skips_damage(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_text("m 1 2.0\nGARBAGE\nm 3 4.0\n")
+        from repro.tsdb import LogCorruption
+
+        with pytest.raises(LogCorruption):
+            convert_log(path, tmp_path / "wal.seg")
+        points, _ = convert_log(path, tmp_path / "wal.seg", strict=False)
+        assert points == 2
+
+    def test_cli_subcommand(self, tmp_path, capsys):
+        self.build_text_log(tmp_path / "wal.log")
+        rc = cli_main(
+            ["convert-log", str(tmp_path / "wal.log"), str(tmp_path / "wal.seg")]
+        )
+        assert rc == 0
+        assert "80 points" in capsys.readouterr().out
+        assert detect_format(tmp_path / "wal.seg") == "binary"
+        assert dumps(load(tmp_path / "wal.seg")) == dumps(load(tmp_path / "wal.log"))
+
+    def test_refuses_same_source_and_destination(self, tmp_path):
+        """src == dst would truncate the source before reading it."""
+        path = tmp_path / "wal.log"
+        self.build_text_log(path)
+        before = path.read_bytes()
+        with pytest.raises(ValueError, match="same file"):
+            convert_log(path, path, format="text")
+        assert path.read_bytes() == before  # untouched
+        with pytest.raises(SystemExit, match="same file"):
+            cli_main(["convert-log", str(path), str(path), "--to", "text"])
+
+    def test_missing_source_leaves_no_stub(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            convert_log(tmp_path / "nope.log", tmp_path / "out.seg")
+        assert not (tmp_path / "out.seg").exists()
+
+    def test_cli_corrupt_without_lenient_fails(self, tmp_path):
+        (tmp_path / "wal.log").write_text("m 1 2.0\nGARBAGE\n")
+        with pytest.raises(SystemExit, match="lenient"):
+            cli_main(
+                ["convert-log", str(tmp_path / "wal.log"), str(tmp_path / "o.seg")]
+            )
+        rc = cli_main(
+            ["convert-log", "--lenient", str(tmp_path / "wal.log"),
+             str(tmp_path / "o.seg")]
+        )
+        assert rc == 0
+
+
+class TestDataportWalHook:
+    def test_write_batch_flushes_to_disk(self, tmp_path):
+        """Write-ahead means *on disk* before the store sees the batch:
+        the block (and magic) must not sit in a userspace buffer."""
+        w = SegmentWriter(tmp_path / "wal.seg")
+        w.write_batch(mixed_batch())
+        on_disk = segment_point_count(tmp_path / "wal.seg")  # before close
+        assert on_disk == len(mixed_batch())
+        w.close()
+
+    def test_write_many_counts_only_its_own_points(self, tmp_path):
+        with SegmentWriter(tmp_path / "wal.seg") as w:
+            w.write(make_point(ts=1))
+            assert w.write_many([make_point(ts=2)]) == 1  # matches LogWriter
+        assert w.written == 2
+
+    def test_flushes_append_to_wal_before_store(self, tmp_path):
+        db = TSDB()
+        with SegmentWriter(tmp_path / "wal.seg") as wal:
+            writer = BatchingTsdbWriter(db, max_pending=16, wal=wal)
+            for i in range(50):
+                writer.add("air.co2.ppm", i, float(i), {"node": "n1"})
+            writer.flush()
+        assert writer.written == 50
+        replayed = load(tmp_path / "wal.seg")
+        assert dumps(replayed) == dumps(db)
+
+    def test_failed_wal_write_keeps_batch_for_retry(self, tmp_path):
+        """A WAL append failure (disk full) must not lose the buffered
+        points: the builder retains them and a later flush retries."""
+
+        class FailingOnceWal:
+            def __init__(self):
+                self.fail = True
+                self.batches = []
+
+            def write_batch(self, batch):
+                if self.fail:
+                    self.fail = False
+                    raise OSError("no space left on device")
+                self.batches.append(batch)
+
+        db = TSDB()
+        wal = FailingOnceWal()
+        writer = BatchingTsdbWriter(db, max_pending=100, wal=wal)
+        for i in range(10):
+            writer.add("air.co2.ppm", i, float(i), {"node": "n1"})
+        with pytest.raises(OSError):
+            writer.flush()
+        assert writer.pending == 10  # retained, not lost
+        assert db.exact_point_count() == 0  # store untouched too
+        assert writer.flush() == 10  # retry succeeds
+        assert len(wal.batches) == 1 and db.exact_point_count() == 10
+
+    def test_text_wal_also_accepted(self, tmp_path):
+        db = TSDB()
+        with LogWriter(tmp_path / "wal.log") as wal:
+            writer = BatchingTsdbWriter(db, max_pending=16, wal=wal)
+            for i in range(20):
+                writer.add("air.co2.ppm", i, float(i), {"node": "n1"})
+            writer.flush()
+        assert dumps(load(tmp_path / "wal.log")) == dumps(db)
+
+
+# -- hypothesis: codec + equivalence over arbitrary workloads -------------
+names = st.from_regex(r"[A-Za-z0-9][A-Za-z0-9._\-/]{0,8}", fullmatch=True)
+tag_maps = st.dictionaries(names, names, max_size=3)
+point_rows = st.lists(
+    st.tuples(
+        names,
+        st.integers(min_value=0, max_value=2**40),
+        st.floats(allow_nan=True, allow_infinity=True, width=64),
+        tag_maps,
+    ),
+    max_size=80,
+)
+
+
+class TestCodecProperties:
+    @given(point_rows)
+    @settings(max_examples=120, deadline=None)
+    def test_batch_codec_round_trips_exactly(self, rows):
+        """Arbitrary metrics/tags/timestamps — including out-of-order
+        rows, duplicate series keys, NaN and infinite values — survive
+        encode/decode bit-exactly, in row order."""
+        builder = BatchBuilder()
+        for metric, ts, val, tags in rows:
+            builder.add(metric, ts, val, tags)
+        batch = builder.build()
+        assert_batches_equal(decode_batch(encode_batch(batch)), batch)
+
+    @given(point_rows, st.integers(min_value=0, max_value=2**40))
+    @settings(max_examples=60, deadline=None)
+    def test_wal_equivalence_with_marker(self, rows, cutoff):
+        """Text and binary WALs carrying the same stream (with a
+        retention marker in the middle) restore identical stores."""
+        finite_rows = [
+            (m, t, v if v == v and abs(v) != float("inf") else 0.5, tags)
+            for m, t, v, tags in rows
+        ]
+        text_buf, bin_buf = io.StringIO(), io.BytesIO()
+        tw, bw = LogWriter(text_buf), SegmentWriter(bin_buf)
+        half = len(finite_rows) // 2
+        for writers in (tw, bw):
+            for m, t, v, tags in finite_rows[:half]:
+                writers.write(DataPoint.make(m, t, v, tags))
+            writers.delete_before(cutoff)
+            for m, t, v, tags in finite_rows[half:]:
+                writers.write(DataPoint.make(m, t, v, tags))
+            writers.flush()
+        text_buf.seek(0)
+        bin_buf.seek(0)
+        a = load(text_buf, format="text")
+        b = load(bin_buf, format="binary")
+        assert dumps(a) == dumps(b)
+
+    @given(point_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_binary_snapshot_restores_identical_state(self, rows):
+        db = TSDB()
+        builder = BatchBuilder()
+        for metric, ts, val, tags in rows:
+            v = val if val == val and abs(val) != float("inf") else -1.0
+            builder.add(metric, ts, v, tags)
+        db.put_batch(builder.build())
+        blob = dumps(db, format="binary")
+        assert dumps(load(io.BytesIO(blob))) == dumps(db)
