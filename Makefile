@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-sharded test-region test-persist bench bench-sharded bench-region bench-persist lint
+.PHONY: test test-sharded test-region test-persist test-query bench bench-sharded bench-region bench-persist bench-query lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,6 +19,11 @@ test-region:
 test-persist:
 	$(PYTHON) -m pytest -q tests/test_tsdb_segments.py tests/test_tsdb_persistence.py
 
+# The query-engine gate: builder/run_many/pushdown/expression results
+# byte-identical to the seed run() path, plus wire codec round-trips.
+test-query:
+	$(PYTHON) -m pytest -q tests/test_tsdb_plan.py tests/test_tsdb_wire.py
+
 bench:
 	$(PYTHON) -m pytest -q benchmarks/test_ingest_throughput.py -s
 
@@ -33,6 +38,11 @@ bench-region:
 # gates the >=10x binary speedup and records the persistence section.
 bench-persist:
 	$(PYTHON) -m pytest -q benchmarks/test_persistence.py -s
+
+# 12-panel dashboard workload, seed vs batched planner, 1/4/8 shards;
+# gates the >=2x batched speedup and records the query section.
+bench-query:
+	$(PYTHON) -m pytest -q benchmarks/test_query_throughput.py -s
 
 lint:
 	$(PYTHON) -m ruff check src/

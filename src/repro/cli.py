@@ -8,6 +8,8 @@ the system without writing code:
 - ``dashboard``   — render the Fig. 6 air-quality dashboard as text;
 - ``table1``      — show the external-source catalog status;
 - ``wall``        — render the Fig. 8 wall display once;
+- ``query``       — batch-execute OpenTSDB-shape queries over a simulated
+  city and print the JSON wire response;
 - ``convert-log`` — migrate a WAL/snapshot between the text line
   protocol and binary columnar segments.
 """
@@ -149,6 +151,69 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_query(args: argparse.Namespace) -> int:
+    """Batched queries over a freshly simulated city, as wire JSON.
+
+    Two input modes, both executed through ``run_many`` as one batch:
+
+    - flags: ``query air.co2.ppm,weather.temperature.c --downsample
+      1h-avg --group-by node`` builds one query per metric over the
+      simulated window;
+    - ``--request FILE``: a versioned wire-format JSON request
+      (``-`` = stdin) with absolute start/end, for exact replays.
+    """
+    import json
+    from pathlib import Path
+
+    from .tsdb import Query, QueryError, WireError, wire
+
+    # Validate the request before paying for the simulation: a bad wire
+    # file should fail in milliseconds, not after N simulated hours.
+    queries = None
+    if args.request:
+        text = sys.stdin.read() if args.request == "-" else Path(args.request).read_text()
+        try:
+            queries = wire.decode_request(text)
+        except WireError as exc:
+            raise SystemExit(f"query: bad request: {exc}")
+    elif not args.metrics:
+        raise SystemExit("query: give METRIC[,METRIC...] or --request FILE")
+    eco, city = _build(args.city, args.hours, args.seed, args.shards)
+    if queries is None:
+        end = eco.now
+        start = end - args.hours * HOUR
+        tags = {"city": args.city}
+        for pair in (args.tags or "").split(","):
+            if not pair.strip():
+                continue
+            if "=" not in pair:
+                raise SystemExit(f"query: bad --tags entry {pair!r}; expected k=v")
+            k, v = pair.split("=", 1)
+            tags[k.strip()] = v.strip()
+        group_by = tuple(
+            g.strip() for g in (args.group_by or "").split(",") if g.strip()
+        )
+        try:
+            queries = [
+                Query(
+                    metric.strip(),
+                    start,
+                    end,
+                    tags=tags,
+                    aggregator=args.agg,
+                    downsample=args.downsample,
+                    rate=args.rate,
+                    group_by=group_by,
+                )
+                for metric in args.metrics.split(",")
+            ]
+        except QueryError as exc:
+            raise SystemExit(f"query: {exc}")
+    results = city.db.run_many(queries)
+    print(json.dumps(wire.encode_response(results), indent=2))
+    return 0
+
+
 def cmd_convert_log(args: argparse.Namespace) -> int:
     """Migrate a WAL or snapshot between durability formats.
 
@@ -235,6 +300,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_t1 = sub.add_parser("table1", help="external-source catalog status")
     common(p_t1)
     p_t1.set_defaults(func=cmd_table1)
+
+    p_query = sub.add_parser(
+        "query",
+        help="batch-execute queries over a simulated city (wire JSON out)",
+    )
+    common(p_query)
+    p_query.add_argument(
+        "metrics", nargs="?", default=None, metavar="METRIC[,METRIC...]",
+        help="metrics to query over the simulated window (one query each)")
+    p_query.add_argument(
+        "--tags", default=None, metavar="K=V[,K=V...]",
+        help="extra tag filters (city=<--city> is implied)")
+    p_query.add_argument(
+        "--agg", default="avg", metavar="NAME",
+        help="cross-series aggregator (default: avg)")
+    p_query.add_argument(
+        "--downsample", default=None, metavar="SPEC",
+        help="downsample spec, e.g. 5m-avg or 1h-max-nan")
+    p_query.add_argument(
+        "--rate", action="store_true",
+        help="emit per-second first derivative (counter metrics)")
+    p_query.add_argument(
+        "--group-by", default=None, metavar="K[,K...]",
+        help="tag keys producing one series per value combination")
+    p_query.add_argument(
+        "--request", default=None, metavar="FILE",
+        help="versioned wire-format JSON request ('-' = stdin); "
+             "overrides the flag-built queries")
+    p_query.set_defaults(func=cmd_query)
 
     p_conv = sub.add_parser(
         "convert-log",

@@ -28,6 +28,7 @@ from ..simclock import Scheduler
 from ..tsdb.batch import PointBatch
 from ..tsdb.interface import TimeSeriesStore
 from ..tsdb.model import SeriesKey
+from ..tsdb.query import Query, QueryResult
 from ..tsdb.retention import RolledUp
 from .policy import CityPolicy
 from .queue import AsyncBatchQueue, Backpressure
@@ -292,6 +293,47 @@ class RegionalHub:
                 break
             total += moved
         return total
+
+    # ------------------------------------------------------------------
+    # Regional queries
+    # ------------------------------------------------------------------
+    def query_cities(
+        self,
+        metric: str,
+        start: int,
+        end: int,
+        *,
+        aggregator: str = "avg",
+        downsample: str | None = None,
+        rate: bool = False,
+        group_by: tuple[str, ...] = (),
+        parallel: bool | None = None,
+    ) -> dict[str, QueryResult]:
+        """One query per registered city, planned as a single batch.
+
+        The regional ops convenience: N city-scoped queries over the
+        same metric go through ``store.run_many`` together — shared
+        series matching and scans, one thread-pooled fan-out on a
+        sharded store — instead of N independent ``run()`` calls.
+        (Dashboard *panels* batch separately via
+        ``Dashboard.prefetch_results``, which also covers non-per-city
+        panels.)  Returns city → result in registration order.
+        """
+        queries = [
+            Query(
+                metric,
+                start,
+                end,
+                tags={"city": city},
+                aggregator=aggregator,
+                downsample=downsample,
+                rate=rate,
+                group_by=tuple(group_by),
+            )
+            for city in self.cities
+        ]
+        results = self.store.run_many(queries, parallel=parallel)
+        return dict(zip(self.cities, results))
 
     # ------------------------------------------------------------------
     # Per-city retention

@@ -3,7 +3,12 @@
 Data model: points are ``(metric, timestamp, value, tags)``; a series is
 one metric + tag combination.  Queries support tag filtering (exact,
 ``*``, ``a|b``), cross-series aggregation, group-by, rate, and
-downsampling with gap-fill policies.  Persistence is an append-only WAL
+downsampling with gap-fill policies; the declarative :class:`Query`
+surface (plus the fluent :func:`select` builder and :func:`expr`
+arithmetic expression queries) executes through a batched planner
+(:mod:`~repro.tsdb.plan`) with per-shard pushdown, and speaks a
+versioned OpenTSDB-style JSON wire format (:mod:`~repro.tsdb.wire`).
+Persistence is an append-only WAL
 with snapshot compaction in two interchangeable formats — a
 human-readable line protocol and binary columnar segments (the fast
 path; see :mod:`~repro.tsdb.segments`) — and retention optionally rolls
@@ -57,8 +62,17 @@ from .segments import (
     parse_series_key,
     segment_point_count,
 )
+from .plan import (
+    ExprQuery,
+    ExprResult,
+    QueryBuilder,
+    expr,
+    run_batch,
+    select,
+)
 from .query import Query, QueryError, QueryResult, ResultSeries, compute_rate
 from .retention import PerShardRetention, RetentionPolicy, RolledUp
+from .wire import WIRE_VERSION, WireError, WireResult, WireSeries, handle_request
 from .series import SeriesSlice, SeriesStore, merge_slices
 from .sharded import ShardedTSDB, scatter_batch, shard_for_key
 
@@ -69,6 +83,8 @@ __all__ = [
     "DataPoint",
     "DeleteBefore",
     "Downsample",
+    "ExprQuery",
+    "ExprResult",
     "FillPolicy",
     "InvalidDownsampleSpec",
     "InvalidName",
@@ -87,6 +103,7 @@ __all__ = [
     "PerShardRetention",
     "PointBatch",
     "Query",
+    "QueryBuilder",
     "QueryError",
     "QueryResult",
     "ResultSeries",
@@ -100,12 +117,18 @@ __all__ = [
     "ShardedTSDB",
     "TSDB",
     "TimeSeriesStore",
+    "WIRE_VERSION",
+    "WireError",
+    "WireResult",
+    "WireSeries",
     "aggregators",
     "compute_rate",
     "convert_log",
     "detect_format",
     "dumps",
     "execute_query",
+    "expr",
+    "handle_request",
     "format_delete_before",
     "format_point",
     "iter_batches",
@@ -117,8 +140,10 @@ __all__ = [
     "parse_entry",
     "parse_line",
     "parse_series_key",
+    "run_batch",
     "run_boundaries",
     "scatter_batch",
+    "select",
     "segment_point_count",
     "shard_for_key",
     "snapshot",

@@ -122,14 +122,36 @@ def _mask_empty(out: np.ndarray, matrix: np.ndarray) -> np.ndarray:
     return out
 
 
-def _col_sum(matrix: np.ndarray) -> np.ndarray:
-    return _mask_empty(np.where(np.isnan(matrix), 0.0, matrix).sum(axis=0), matrix)
+def _moments(matrix: np.ndarray, cache: dict | None):
+    """(finite mask, per-column counts, per-column sums), memoized.
 
-
-def _col_avg(matrix: np.ndarray) -> np.ndarray:
+    The shared first pass of avg/sum/dev: when the batched executor
+    reuses one stacked matrix for several aggregators, ``cache`` (a
+    per-stack dict) makes them pay for it once.  The arithmetic is
+    exactly what each aggregator computed inline, so sharing cannot
+    change a bit of the output.
+    """
+    if cache is not None:
+        cached = cache.get("moments")
+        if cached is not None:
+            return cached
     finite = ~np.isnan(matrix)
     counts = finite.sum(axis=0)
     sums = np.where(finite, matrix, 0.0).sum(axis=0)
+    if cache is not None:
+        cache["moments"] = (finite, counts, sums)
+    return finite, counts, sums
+
+
+def _col_sum(matrix: np.ndarray, cache: dict | None = None) -> np.ndarray:
+    finite, counts, sums = _moments(matrix, cache)
+    out = np.asarray(sums, dtype=np.float64).copy()
+    out[counts == 0] = np.nan
+    return out
+
+
+def _col_avg(matrix: np.ndarray, cache: dict | None = None) -> np.ndarray:
+    finite, counts, sums = _moments(matrix, cache)
     out = np.divide(sums, counts, out=np.full(counts.shape, np.nan), where=counts > 0)
     return out
 
@@ -142,18 +164,22 @@ def _col_max(matrix: np.ndarray) -> np.ndarray:
     return _mask_empty(np.where(np.isnan(matrix), -np.inf, matrix).max(axis=0), matrix)
 
 
-def _col_dev(matrix: np.ndarray) -> np.ndarray:
+def _col_dev(matrix: np.ndarray, cache: dict | None = None) -> np.ndarray:
     # Two-pass (center first): the E[x²]-E[x]² shortcut cancels
     # catastrophically for large-offset values (epoch-like series).
-    finite = ~np.isnan(matrix)
-    counts = finite.sum(axis=0)
+    finite, counts, sums = _moments(matrix, cache)
     with np.errstate(invalid="ignore", divide="ignore"):
-        mean = np.where(finite, matrix, 0.0).sum(axis=0) / counts
+        mean = sums / counts
         centered = np.where(finite, matrix - mean, 0.0)
         var = (centered * centered).sum(axis=0) / counts
     out = np.sqrt(var)
     out[counts == 0] = np.nan
     return out
+
+
+#: Columnar aggregators accepting the shared-moments cache as a second
+#: argument (the batched executor passes one dict per stacked matrix).
+MOMENT_AWARE_COLUMNAR = frozenset({_col_avg, _col_sum, _col_dev})
 
 
 def _col_count(matrix: np.ndarray) -> np.ndarray:
@@ -224,6 +250,40 @@ def get_columnar(name: str) -> ColumnarAggregator:
     """Columnar form of a registered aggregator (always available)."""
     get(name)  # raise UnknownAggregator consistently
     return _COLUMNAR[name]
+
+
+# ---------------------------------------------------------------------------
+# Mergeable forms: distributed partial aggregation for shard pushdown.
+# A (partial, merge) pair decomposes the cross-series aggregate: each
+# shard reduces its own series to a partial column (on its local
+# timestamp union) and the coordinator reduces the partial columns.
+# Only aggregators whose merge is *bit-identical* to a single pass over
+# all series are listed: min/max are exactly associative and
+# commutative, and count sums small integers (exact in float64).  Float
+# folds (avg/sum/dev) are excluded on purpose — regrouping the
+# additions by shard changes the last ulp — as are order statistics,
+# which have no fixed-size partial at all.
+# ---------------------------------------------------------------------------
+
+
+def _col_count_merge(matrix: np.ndarray) -> np.ndarray:
+    """Sum per-shard finite counts; a shard with no point contributes 0."""
+    return np.where(np.isnan(matrix), 0.0, matrix).sum(axis=0)
+
+
+_MERGEABLE: dict[str, tuple[ColumnarAggregator, ColumnarAggregator]] = {
+    "min": (_col_min, _col_min),
+    "max": (_col_max, _col_max),
+    "count": (_col_count, _col_count_merge),
+}
+
+
+def mergeable(name: str) -> tuple[ColumnarAggregator, ColumnarAggregator] | None:
+    """``(partial, merge)`` columnar pair, or None when the aggregator
+    cannot be decomposed without changing results (float-fold and
+    order-statistic aggregators run centrally instead)."""
+    get(name)
+    return _MERGEABLE.get(name)
 
 
 # ---------------------------------------------------------------------------

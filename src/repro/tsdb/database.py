@@ -9,16 +9,15 @@ cross-series aggregation → (optional) downsample.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from . import aggregators
+from . import plan as planner
 from .batch import PointBatch
-from .downsample import apply as apply_downsample
 from .interface import StoreApi
 from .model import DataPoint, SeriesKey, validate_name
-from .query import Query, QueryResult, ResultSeries, compute_rate
+from .query import Query, QueryResult
 from .series import SeriesSlice, SeriesStore
 
 
@@ -160,13 +159,42 @@ class TSDB(StoreApi):
     # Queries
     # ------------------------------------------------------------------
     def run(self, query: Query) -> QueryResult:
-        """Execute a query; see :class:`~repro.tsdb.query.Query`."""
-        matched = self._match(query.metric, query.tags)
-        return execute_query(
-            query,
-            matched,
-            lambda key: self._stores[key].scan(query.start, query.end),
-        )
+        """Execute a query; see :class:`~repro.tsdb.query.Query`.
+
+        A thin shim over the planner: a single query is a batch of one
+        (``run_many``), so every entry point — one-shot, batched, wire —
+        executes through the same plan and returns identical results.
+        """
+        return self.run_many([query])[0]
+
+    def _run_unique_batch(
+        self, queries: Sequence[Query], parallel: bool | None = None
+    ) -> list[QueryResult]:
+        """Execution hook behind ``run_many``: shared matching + scans.
+
+        Each distinct (metric, tags) filter matches once and each
+        touched series is scanned once over the covering range of every
+        query that needs it; per-query sub-ranges come from the shared
+        :class:`~repro.tsdb.plan.ScanPlan`.  ``parallel`` is accepted
+        for interface symmetry with the sharded engine; a single
+        in-process store has no fan-out to parallelize.
+        """
+        matches = planner.match_batch(self._match, queries)
+        scans = planner.ScanPlan()
+        for q, keys in zip(queries, matches):
+            for key in keys:
+                scans.need(key, q.start, q.end)
+        scans.resolve(lambda key, lo, hi: self._stores[key].scan(lo, hi))
+        stack_cache: dict = {}  # shared union+stack across the batch
+        return [
+            planner.execute_plan(
+                q,
+                keys,
+                lambda key, q=q: scans.slice_for(key, q.start, q.end),
+                stack_cache=stack_cache,
+            )
+            for q, keys in zip(queries, matches)
+        ]
 
     def series_slice(
         self, key: SeriesKey, start: int | None = None, end: int | None = None
@@ -255,73 +283,10 @@ def execute_query(
 ) -> QueryResult:
     """The group-by → aggregate → downsample plan over scanned slices.
 
-    ``matched`` is the set of series the query touches and ``scan``
-    produces each one's time-sorted slice; everything downstream of the
-    scan is store-layout-independent.  Both :class:`TSDB` and the
-    sharded engine run queries through this one function, so results
-    are bit-identical regardless of how series are partitioned: groups
-    form from the key set alone and slices always aggregate in sorted
-    key order.
+    Kept as the stable name for the store-layout-independent execution
+    plan; the implementation lives in :mod:`~repro.tsdb.plan`, factored
+    into reusable stages so the batched executor and the per-shard
+    pushdown run the very same code.  See
+    :func:`~repro.tsdb.plan.execute_plan`.
     """
-    ds = query.parsed_downsample()
-    agg = aggregators.get_columnar(query.aggregator)
-
-    groups: dict[tuple[tuple[str, str], ...], list[SeriesKey]] = defaultdict(list)
-    for key in matched:
-        label = tuple(
-            (g, key.tag(g, "")) for g in sorted(query.group_by)
-        )
-        groups[label].append(key)
-
-    scanned = 0
-    series_out: list[ResultSeries] = []
-    for label, keys in sorted(groups.items()):
-        slices: list[SeriesSlice] = []
-        for key in sorted(keys, key=str):
-            sl = scan(key)
-            scanned += len(sl)
-            if query.rate:
-                sl = compute_rate(sl)
-            slices.append(sl)
-        combined = _aggregate_across(slices, agg)
-        if ds is not None:
-            combined = apply_downsample(combined, ds, query.start, query.end)
-        series_out.append(
-            ResultSeries(
-                metric=query.metric,
-                group_tags=dict(label),
-                slice=combined,
-                source_series=tuple(sorted(keys, key=str)),
-            )
-        )
-    if not series_out:
-        empty = SeriesSlice(np.empty(0, np.int64), np.empty(0, np.float64))
-        series_out.append(ResultSeries(query.metric, {}, empty, ()))
-    return QueryResult(query=query, series=tuple(series_out), scanned_points=scanned)
-
-
-def _aggregate_across(slices: list[SeriesSlice], agg) -> SeriesSlice:
-    """Combine several series into one by aggregating per timestamp.
-
-    Timestamps are the union of all input timestamps; at each instant the
-    aggregator sees the values of every series that has a point exactly
-    there.  (OpenTSDB interpolates; our feeds are bucket-aligned by the
-    ingest pipeline, so exact alignment is the common case and
-    interpolation is left to downsample fill policies.)
-
-    ``agg`` is a *columnar* aggregator (see
-    :func:`~repro.tsdb.aggregators.get_columnar`): the whole
-    series×instant matrix reduces in one numpy pass instead of a Python
-    loop per timestamp.
-    """
-    slices = [s for s in slices if len(s) > 0]
-    if not slices:
-        return SeriesSlice(np.empty(0, np.int64), np.empty(0, np.float64))
-    if len(slices) == 1:
-        return slices[0]
-    all_ts = np.unique(np.concatenate([s.timestamps for s in slices]))
-    stacked = np.full((len(slices), all_ts.shape[0]), np.nan)
-    for i, s in enumerate(slices):
-        idx = np.searchsorted(all_ts, s.timestamps)
-        stacked[i, idx] = s.values
-    return SeriesSlice(all_ts, agg(stacked))
+    return planner.execute_plan(query, matched, scan)

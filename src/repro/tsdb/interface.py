@@ -18,6 +18,7 @@ from typing import Iterable, Iterator, Mapping, Protocol, Sequence, runtime_chec
 from .batch import BatchBuilder, PointBatch
 from .downsample import Downsample
 from .model import DataPoint, SeriesKey
+from .plan import ExprQuery, ExprResult, QueryBuilder, run_batch, select as _select
 from .query import Query, QueryResult, ResultSeries
 from .series import SeriesSlice
 
@@ -79,6 +80,15 @@ class TimeSeriesStore(Protocol):
     # -- reads -----------------------------------------------------------
     def run(self, query: Query) -> QueryResult: ...
 
+    def run_many(
+        self,
+        queries: Sequence[Query | QueryBuilder | ExprQuery],
+        *,
+        parallel: bool | None = None,
+    ) -> list[QueryResult | ExprResult]: ...
+
+    def select(self, metric: str) -> QueryBuilder: ...
+
     def series_slice(
         self, key: SeriesKey, start: int | None = None, end: int | None = None
     ) -> SeriesSlice: ...
@@ -120,6 +130,30 @@ class StoreApi:
                 n += self.put_batch(builder.build())
         return n + self.put_batch(builder.build())
 
+    def run_many(
+        self,
+        queries: Sequence[Query | QueryBuilder | ExprQuery],
+        *,
+        parallel: bool | None = None,
+    ) -> list[QueryResult | ExprResult]:
+        """Plan and execute a batch of queries together.
+
+        The dashboard entry point: all queries plan as one batch —
+        duplicate queries execute once, distinct queries share series
+        matching and physical scans, and on the sharded engine the
+        per-shard fan-out runs on a thread pool with group-by /
+        aggregate / downsample pushed down where that is bit-exact.
+        Accepts :class:`Query`, fluent builders, and :func:`expr`
+        expression queries; results align with the input order.
+        """
+        return run_batch(self, queries, parallel=parallel)
+
+    def select(self, metric: str) -> QueryBuilder:
+        """Start a fluent query builder bound to this store:
+        ``store.select("air.co2.ppm").where(node="*").range(t0, t1).run()``.
+        """
+        return _select(metric, store=self)
+
     def query(
         self,
         metric: str,
@@ -132,7 +166,7 @@ class StoreApi:
         rate: bool = False,
         group_by: Sequence[str] = (),
     ) -> QueryResult:
-        """Build and run a :class:`Query` in one call."""
+        """Build and run a :class:`Query` in one call (planner shim)."""
         return self.run(
             Query(
                 metric,

@@ -1,0 +1,701 @@
+"""Query planning and batched execution: the v2 query engine.
+
+The declarative surface (:class:`~repro.tsdb.query.Query`) is unchanged;
+this module adds everything around it:
+
+- :func:`select` / :class:`QueryBuilder` — fluent, immutable query
+  construction (``store.select("air.co2.ppm").where(city="trondheim",
+  node="*").range(t0, t1).downsample("5m-avg").rate().group_by("node")``);
+- :func:`expr` / :class:`ExprQuery` — expression queries combining
+  sub-queries arithmetically (``expr("a - b", a=..., b=...)`` for
+  CO2-minus-baseline style dashboard panels);
+- :func:`run_batch` — the batched executor behind ``store.run_many``:
+  deduplicates queries, shares series matching and physical scans
+  across the whole batch, dispatches to the store's execution hook, and
+  evaluates expressions over the batch results;
+- :func:`execute_plan` — the seed scan → rate → group-by → aggregate →
+  downsample plan, factored into reusable stages (:func:`group_keys`,
+  :func:`aggregate_across`, :func:`reduce_group`) so the single store,
+  the sharded fan-out, and the per-shard pushdown all run the *same*
+  code over the same slices — results are bit-identical no matter which
+  engine executed them;
+- :class:`ScanPlan` / :func:`partial_aggregate` — the physical helpers:
+  one covering-range scan per touched series for a whole batch, and the
+  per-shard partial aggregates merged through
+  :func:`~repro.tsdb.aggregators.mergeable` pairs.
+
+The old one-shot entry points (``TSDB.run``, ``StoreApi.query``,
+``query_range``) are thin shims over this planner: a single query is
+just a batch of one.
+"""
+
+from __future__ import annotations
+
+import ast
+import operator
+from collections import defaultdict
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from . import aggregators
+from .downsample import Downsample, apply as apply_downsample
+from .model import SeriesKey
+from .query import Query, QueryError, QueryResult, ResultSeries, compute_rate
+from .series import SeriesSlice
+
+
+def _empty_slice() -> SeriesSlice:
+    return SeriesSlice(np.empty(0, np.int64), np.empty(0, np.float64))
+
+
+# ---------------------------------------------------------------------------
+# Fluent builder
+# ---------------------------------------------------------------------------
+
+
+def select(metric: str, *, store: object | None = None) -> QueryBuilder:
+    """Start a fluent query builder (optionally bound to a store).
+
+    ``store.select(metric)`` is the bound form; the unbound form builds
+    queries for :func:`run_batch` / ``run_many`` / :func:`expr`.
+    """
+    return QueryBuilder(_store=store, _metric=metric)
+
+
+@dataclass(frozen=True)
+class QueryBuilder:
+    """Immutable fluent builder over :class:`Query`.
+
+    Every method returns a *new* builder, so partial builders can be
+    shared and forked (one base per dashboard, one fork per panel).
+    ``build()`` validates eagerly through ``Query.__post_init__``;
+    ``run()`` executes through the planner on the bound store.
+    """
+
+    _store: object | None = None
+    _metric: str | None = None
+    _start: int | None = None
+    _end: int | None = None
+    _tags: tuple[tuple[str, str], ...] = ()
+    _aggregator: str = "avg"
+    _downsample: str | Downsample | None = None
+    _rate: bool = False
+    _group_by: tuple[str, ...] = ()
+
+    def where(
+        self, tags: Mapping[str, str] | None = None, **more: str
+    ) -> QueryBuilder:
+        """Add tag filters (``"*"`` and ``"a|b"`` supported); merges."""
+        merged = dict(self._tags)
+        merged.update(tags or {})
+        merged.update(more)
+        return replace(self, _tags=tuple(sorted(merged.items())))
+
+    def range(self, start: int, end: int) -> QueryBuilder:
+        """Inclusive epoch-second time range."""
+        return replace(self, _start=int(start), _end=int(end))
+
+    def aggregate(self, name: str) -> QueryBuilder:
+        """Cross-series aggregator (``"avg"``, ``"p95"``, ...)."""
+        return replace(self, _aggregator=name)
+
+    agg = aggregate
+
+    def downsample(self, spec: str | Downsample) -> QueryBuilder:
+        """Downsample spec, e.g. ``"5m-avg"`` or ``"1h-max-nan"``."""
+        return replace(self, _downsample=spec)
+
+    def rate(self, enabled: bool = True) -> QueryBuilder:
+        """Emit the per-second first derivative (counter metrics)."""
+        return replace(self, _rate=bool(enabled))
+
+    def group_by(self, *keys: str) -> QueryBuilder:
+        """Tag keys whose value combinations each get their own series."""
+        return replace(self, _group_by=self._group_by + tuple(keys))
+
+    def build(self) -> Query:
+        """Materialize the declarative :class:`Query` (validates)."""
+        if self._metric is None:
+            raise QueryError("builder has no metric; start from select(metric)")
+        if self._start is None or self._end is None:
+            raise QueryError("builder has no time range; call .range(start, end)")
+        return Query(
+            self._metric,
+            self._start,
+            self._end,
+            tags=dict(self._tags),
+            aggregator=self._aggregator,
+            downsample=self._downsample,
+            rate=self._rate,
+            group_by=self._group_by,
+        )
+
+    def run(self, store: object | None = None, *, parallel: bool | None = None):
+        """Build and execute on ``store`` (or the bound store)."""
+        target = store if store is not None else self._store
+        if target is None:
+            raise QueryError(
+                "builder is not bound to a store; use store.select(...) or "
+                "pass one to run(store)"
+            )
+        return run_batch(target, [self.build()], parallel=parallel)[0]
+
+
+# ---------------------------------------------------------------------------
+# Expression queries: arithmetic over sub-query results
+# ---------------------------------------------------------------------------
+
+_BIN_OPS = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.Mod: operator.mod,
+    ast.Pow: operator.pow,
+}
+_UNARY_OPS = {ast.USub: operator.neg, ast.UAdd: operator.pos}
+
+
+def _compile_formula(formula: str):
+    """Parse a formula into (referenced names, evaluator).
+
+    Only arithmetic over named sub-queries and numeric constants is
+    allowed — no calls, attributes, subscripts, or comparisons — so a
+    formula arriving over the wire cannot execute anything.
+    """
+    try:
+        tree = ast.parse(formula, mode="eval")
+    except SyntaxError as exc:
+        raise QueryError(f"malformed expression {formula!r}: {exc}") from None
+    names: set[str] = set()
+
+    def check(node: ast.AST) -> None:
+        if isinstance(node, ast.Expression):
+            check(node.body)
+        elif isinstance(node, ast.BinOp) and type(node.op) in _BIN_OPS:
+            check(node.left)
+            check(node.right)
+        elif isinstance(node, ast.UnaryOp) and type(node.op) in _UNARY_OPS:
+            check(node.operand)
+        elif (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool)
+        ):
+            pass
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            names.add(node.id)
+        else:
+            raise QueryError(
+                f"expression {formula!r}: only +, -, *, /, %, ** over named "
+                "sub-queries and numeric constants are allowed"
+            )
+
+    check(tree)
+    if not names:
+        raise QueryError(f"expression {formula!r} references no sub-queries")
+
+    def evaluate(env: Mapping[str, np.ndarray]) -> np.ndarray:
+        def ev(node: ast.AST):
+            if isinstance(node, ast.Expression):
+                return ev(node.body)
+            if isinstance(node, ast.BinOp):
+                return _BIN_OPS[type(node.op)](ev(node.left), ev(node.right))
+            if isinstance(node, ast.UnaryOp):
+                return _UNARY_OPS[type(node.op)](ev(node.operand))
+            if isinstance(node, ast.Constant):
+                return node.value
+            return env[node.id]  # ast.Name; validated above
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.asarray(ev(tree), dtype=np.float64)
+
+    return names, evaluate
+
+
+@dataclass(frozen=True)
+class ExprQuery:
+    """A formula over named sub-queries, e.g. ``a - b``.
+
+    Build via :func:`expr`.  Missing instants are NaN before the
+    arithmetic, so gaps propagate instead of silently zero-filling.
+    Grouped operands must agree on their group labels; single-series
+    operands broadcast across the groups (per-node CO2 minus the
+    city-wide baseline in one expression).
+    """
+
+    formula: str
+    operands: tuple[tuple[str, Query], ...]
+
+    def __post_init__(self) -> None:
+        names, _ = _compile_formula(self.formula)
+        bound = {name for name, _ in self.operands}
+        if names - bound:
+            raise QueryError(
+                f"expression {self.formula!r} references unbound operands: "
+                f"{sorted(names - bound)}"
+            )
+        if bound - names:
+            raise QueryError(
+                f"expression {self.formula!r} never uses operands: "
+                f"{sorted(bound - names)}"
+            )
+
+    def operand_map(self) -> dict[str, Query]:
+        return dict(self.operands)
+
+
+def expr(formula: str, **operands: Query | QueryBuilder) -> ExprQuery:
+    """Combine sub-queries arithmetically: ``expr("a - b", a=..., b=...)``.
+
+    Operands are :class:`Query` or (unbound) builders; the planner runs
+    them inside the same batch as everything else, so an expression's
+    sub-queries share matching and scans with sibling dashboard panels.
+    """
+    normalized = tuple(
+        (name, _as_query(sub)) for name, sub in sorted(operands.items())
+    )
+    return ExprQuery(formula, normalized)
+
+
+def _as_query(obj: Query | QueryBuilder) -> Query:
+    if isinstance(obj, Query):
+        return obj
+    if isinstance(obj, QueryBuilder):
+        return obj.build()
+    raise QueryError(
+        f"expected Query or QueryBuilder, got {type(obj).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class ExprResult:
+    """All series produced by one expression query."""
+
+    expr: ExprQuery
+    series: tuple[ResultSeries, ...]
+    scanned_points: int
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+    def __iter__(self) -> Iterator[ResultSeries]:
+        return iter(self.series)
+
+    def single(self) -> ResultSeries:
+        if len(self.series) != 1:
+            raise QueryError(
+                f"expected exactly one result series, got {len(self.series)}"
+            )
+        return self.series[0]
+
+    def is_empty(self) -> bool:
+        return all(len(s) == 0 for s in self.series)
+
+
+def _evaluate_expr(
+    eq: ExprQuery, results: Mapping[str, QueryResult]
+) -> ExprResult:
+    """Combine operand results through the formula, label by label."""
+    names, evaluate = _compile_formula(eq.formula)
+    ordered = sorted(names)
+    per_op: dict[str, dict[tuple, ResultSeries]] = {}
+    for name in ordered:
+        per_op[name] = {
+            tuple(sorted(s.group_tags.items())): s for s in results[name].series
+        }
+    # Operands producing one ungrouped series broadcast; all others must
+    # agree on the exact label set.
+    label_sets = {name: set(per_op[name]) for name in ordered}
+    labeled = [name for name in ordered if label_sets[name] != {()}]
+    if labeled:
+        base = label_sets[labeled[0]]
+        for name in labeled[1:]:
+            if label_sets[name] != base:
+                raise QueryError(
+                    f"expression {eq.formula!r}: operands {labeled[0]!r} and "
+                    f"{name!r} have mismatched group labels"
+                )
+        out_labels = sorted(base)
+    else:
+        out_labels = [()]
+
+    out_series: list[ResultSeries] = []
+    for label in out_labels:
+        parts = {
+            name: (
+                per_op[name][label]
+                if label_sets[name] != {()}
+                else per_op[name][()]
+            )
+            for name in ordered
+        }
+        union = np.unique(
+            np.concatenate([s.timestamps for s in parts.values()])
+        ) if parts else np.empty(0, np.int64)
+        env: dict[str, np.ndarray] = {}
+        for name, s in parts.items():
+            col = np.full(union.shape[0], np.nan)
+            col[np.searchsorted(union, s.timestamps)] = s.values
+            env[name] = col
+        values = evaluate(env)
+        if values.shape != union.shape:  # constant-dominated formula
+            values = np.broadcast_to(values, union.shape).astype(np.float64)
+        sources = tuple(
+            sorted({k for s in parts.values() for k in s.source_series}, key=str)
+        )
+        out_series.append(
+            ResultSeries(
+                metric=eq.formula,
+                group_tags=dict(label),
+                slice=SeriesSlice(union, values),
+                source_series=sources,
+            )
+        )
+    scanned = sum(results[name].scanned_points for name in ordered)
+    return ExprResult(eq, tuple(out_series), scanned)
+
+
+# ---------------------------------------------------------------------------
+# The logical plan, factored into reusable stages
+# ---------------------------------------------------------------------------
+
+
+def group_keys(
+    query: Query, matched: Sequence[SeriesKey]
+) -> dict[tuple[tuple[str, str], ...], list[SeriesKey]]:
+    """Partition matched keys into group-by labels; keys sorted per group.
+
+    A pure function of the key set — independent of the order ``matched``
+    arrived in and of which shard each key lives on, which is what makes
+    pushdown safe: every engine forms the same groups.
+    """
+    groups: dict[tuple, list[SeriesKey]] = defaultdict(list)
+    for key in matched:
+        label = tuple((g, key.tag(g, "")) for g in sorted(query.group_by))
+        groups[label].append(key)
+    return {label: sorted(keys, key=str) for label, keys in groups.items()}
+
+
+def _sorted_union(parts: list[np.ndarray]) -> np.ndarray:
+    """Sorted unique union of sorted int64 arrays.
+
+    Output-identical to ``np.unique(np.concatenate(parts))`` but via a
+    stable sort (fast on concatenations of sorted runs, and it releases
+    the GIL, unlike numpy's hash-based unique) plus a dedup mask.
+    """
+    merged = np.sort(np.concatenate(parts), kind="stable")
+    if merged.shape[0] == 0:
+        return merged
+    keep = np.empty(merged.shape[0], dtype=bool)
+    keep[0] = True
+    np.not_equal(merged[1:], merged[:-1], out=keep[1:])
+    return merged[keep]
+
+
+def build_stack(slices: list[SeriesSlice]) -> tuple[np.ndarray, np.ndarray]:
+    """Align slices on their timestamp union as a (series, instant) matrix."""
+    all_ts = _sorted_union([s.timestamps for s in slices])
+    stacked = np.full((len(slices), all_ts.shape[0]), np.nan)
+    for i, s in enumerate(slices):
+        stacked[i, np.searchsorted(all_ts, s.timestamps)] = s.values
+    return all_ts, stacked
+
+
+def _stacked_for(
+    slices: list[SeriesSlice], stack_cache: dict | None
+) -> tuple[np.ndarray, np.ndarray, dict | None]:
+    """Union+stack (+ shared-moments dict) for ``slices``, memoized per
+    batch when a cache is given.
+
+    Keys are slice identities; each entry pins its slices, so a freed
+    slice's address can never be reused by an object that would collide
+    with a live key (no false hits).  The returned moments dict is
+    per-stack: aggregators that share a first pass (avg/sum/dev) store
+    their (finite, counts, sums) there once per matrix.
+    """
+    if stack_cache is None:
+        return build_stack(slices) + (None,)
+    key = tuple(map(id, slices))
+    entry = stack_cache.get(key)
+    if entry is None:
+        all_ts, stacked = build_stack(slices)
+        entry = stack_cache[key] = (list(slices), all_ts, stacked, {})
+    return entry[1], entry[2], entry[3]
+
+
+def aggregate_across(
+    slices: list[SeriesSlice], agg, *, stack_cache: dict | None = None
+) -> SeriesSlice:
+    """Combine several series into one by aggregating per timestamp.
+
+    Timestamps are the union of all input timestamps; at each instant the
+    aggregator sees the values of every series that has a point exactly
+    there.  (OpenTSDB interpolates; our feeds are bucket-aligned by the
+    ingest pipeline, so exact alignment is the common case and
+    interpolation is left to downsample fill policies.)
+
+    ``agg`` is a *columnar* aggregator (see
+    :func:`~repro.tsdb.aggregators.get_columnar`): the whole
+    series×instant matrix reduces in one numpy pass instead of a Python
+    loop per timestamp.
+
+    ``stack_cache`` is the batched executor's cross-query win: queries
+    in one batch that aggregate the *same* slice objects (a dashboard's
+    ``avg`` and ``p95`` panels over one metric) share the union+stack
+    work and differ only in the final reduction.  Keys are slice
+    identities, so the cache is only valid while the batch holds its
+    prepared slices — callers pass a per-batch dict.
+    """
+    slices = [s for s in slices if len(s) > 0]
+    if not slices:
+        return _empty_slice()
+    if len(slices) == 1:
+        return slices[0]
+    all_ts, stacked, moments = _stacked_for(slices, stack_cache)
+    if moments is not None and agg in aggregators.MOMENT_AWARE_COLUMNAR:
+        return SeriesSlice(all_ts, agg(stacked, moments))
+    return SeriesSlice(all_ts, agg(stacked))
+
+
+def reduce_group(
+    query: Query,
+    slices: list[SeriesSlice],
+    *,
+    ds: Downsample | None,
+    agg,
+    stack_cache: dict | None = None,
+) -> SeriesSlice:
+    """Finish one group: cross-series aggregate, then downsample."""
+    combined = aggregate_across(slices, agg, stack_cache=stack_cache)
+    if ds is not None:
+        combined = apply_downsample(combined, ds, query.start, query.end)
+    return combined
+
+
+def execute_plan(
+    query: Query,
+    matched: Sequence[SeriesKey],
+    scan: Callable[[SeriesKey], SeriesSlice],
+    *,
+    stack_cache: dict | None = None,
+) -> QueryResult:
+    """The group-by → aggregate → downsample plan over scanned slices.
+
+    ``matched`` is the set of series the query touches and ``scan``
+    produces each one's time-sorted slice; everything downstream of the
+    scan is store-layout-independent.  The single store, the sharded
+    fan-out, and the batched executor all run queries through these same
+    stages, so results are bit-identical regardless of how series are
+    partitioned: groups form from the key set alone and slices always
+    aggregate in sorted key order.
+    """
+    ds = query.parsed_downsample()
+    agg = aggregators.get_columnar(query.aggregator)
+
+    scanned = 0
+    series_out: list[ResultSeries] = []
+    for label, keys in sorted(group_keys(query, matched).items()):
+        slices: list[SeriesSlice] = []
+        for key in keys:
+            sl = scan(key)
+            scanned += len(sl)
+            if query.rate:
+                sl = compute_rate(sl)
+            slices.append(sl)
+        series_out.append(
+            ResultSeries(
+                metric=query.metric,
+                group_tags=dict(label),
+                slice=reduce_group(
+                    query, slices, ds=ds, agg=agg, stack_cache=stack_cache
+                ),
+                source_series=tuple(keys),
+            )
+        )
+    if not series_out:
+        series_out.append(ResultSeries(query.metric, {}, _empty_slice(), ()))
+    return QueryResult(query=query, series=tuple(series_out), scanned_points=scanned)
+
+
+# ---------------------------------------------------------------------------
+# Physical helpers: shared scans and pushdown partials
+# ---------------------------------------------------------------------------
+
+
+class ScanPlan:
+    """One physical scan per touched series for a whole query batch.
+
+    Queries register the ranges they need per key; ``resolve`` runs one
+    covering-range scan per key; ``slice_for`` hands each query its
+    sub-range.  Timestamps are strictly increasing, so the searchsorted
+    sub-range of the covering scan is bit-identical to a direct
+    ``scan(start, end)`` — sharing is invisible to results.
+    """
+
+    def __init__(self) -> None:
+        self._ranges: dict[SeriesKey, list[int]] = {}
+        self._scans: dict[SeriesKey, SeriesSlice] = {}
+        self._subslices: dict[tuple[SeriesKey, int, int], SeriesSlice] = {}
+
+    def need(self, key: SeriesKey, start: int, end: int) -> None:
+        bounds = self._ranges.get(key)
+        if bounds is None:
+            self._ranges[key] = [start, end]
+        else:
+            bounds[0] = min(bounds[0], start)
+            bounds[1] = max(bounds[1], end)
+
+    @property
+    def touched(self) -> int:
+        return len(self._ranges)
+
+    def resolve(
+        self, scanner: Callable[[SeriesKey, int, int], SeriesSlice]
+    ) -> None:
+        for key, (lo, hi) in self._ranges.items():
+            self._scans[key] = scanner(key, lo, hi)
+
+    def slice_for(self, key: SeriesKey, start: int, end: int) -> SeriesSlice:
+        """Sub-range of the covering scan; memoized so queries sharing a
+        (key, range) see the *same* slice object (which is what lets the
+        batch's stack cache recognize shared aggregation work)."""
+        sl = self._scans[key]
+        lo, hi = self._ranges[key]
+        if lo == start and hi == end:
+            return sl
+        memo_key = (key, start, end)
+        sub = self._subslices.get(memo_key)
+        if sub is None:
+            ts = sl.timestamps
+            a = int(np.searchsorted(ts, start, side="left"))
+            b = int(np.searchsorted(ts, end, side="right"))
+            sub = (
+                sl
+                if a == 0 and b == ts.shape[0]
+                else SeriesSlice(ts[a:b], sl.values[a:b])
+            )
+            self._subslices[memo_key] = sub
+        return sub
+
+
+def partial_aggregate(
+    slices: list[SeriesSlice], partial_fn, *, stack_cache: dict | None = None
+) -> SeriesSlice:
+    """Partial cross-series aggregate of one shard's slices.
+
+    Like :func:`aggregate_across` but *without* the single-slice
+    shortcut: the partial form must apply even to one series (a lone
+    series' ``count`` partial is 1-where-finite, not its raw values).
+    Only aggregators with a :func:`~repro.tsdb.aggregators.mergeable`
+    pair ever reach this path.
+    """
+    slices = [s for s in slices if len(s) > 0]
+    if not slices:
+        return _empty_slice()
+    all_ts, stacked, _ = _stacked_for(slices, stack_cache)
+    return SeriesSlice(all_ts, partial_fn(stacked))
+
+
+def match_batch(
+    match: Callable[[str, Mapping[str, str]], list],
+    queries: Sequence[Query],
+) -> list[list]:
+    """Matched series per query, computing each distinct filter once."""
+    cache: dict[tuple, list] = {}
+    out: list[list] = []
+    for q in queries:
+        mk = (q.metric, tuple(sorted(q.tags.items())))
+        if mk not in cache:
+            cache[mk] = match(q.metric, q.tags)
+        out.append(cache[mk])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The batched executor behind store.run_many
+# ---------------------------------------------------------------------------
+
+
+def _canonical_key(q: Query) -> tuple:
+    """Dedup identity of a query (spelling-insensitive where safe)."""
+    ds = q.parsed_downsample()
+    return (
+        q.metric,
+        tuple(sorted(q.tags.items())),
+        int(q.start),
+        int(q.end),
+        q.aggregator,
+        None if ds is None else (ds.width, ds.agg, ds.fill.value),
+        bool(q.rate),
+        tuple(sorted(q.group_by)),
+    )
+
+
+def run_batch(
+    store: object,
+    queries: Sequence[Query | QueryBuilder | ExprQuery],
+    *,
+    parallel: bool | None = None,
+) -> list[QueryResult | ExprResult]:
+    """Plan and execute a batch of queries together.
+
+    Accepts a mix of :class:`Query`, builders, and :class:`ExprQuery`;
+    duplicate queries (including expression operands equal to sibling
+    panels) execute once.  Execution goes through the store's
+    ``_run_unique_batch`` hook — the shared-scan local executor on
+    :class:`~repro.tsdb.database.TSDB`, the pushdown fan-out on
+    :class:`~repro.tsdb.sharded.ShardedTSDB` — falling back to one
+    ``store.run`` per query for stores without the hook.  Results align
+    with the input order.
+    """
+    specs: list[tuple] = []
+    flat: list[Query] = []
+    index: dict[tuple, int] = {}
+
+    def intern(q: Query) -> int:
+        ck = _canonical_key(q)
+        i = index.get(ck)
+        if i is None:
+            i = len(flat)
+            index[ck] = i
+            flat.append(q)
+        return i
+
+    for item in queries:
+        if isinstance(item, QueryBuilder):
+            item = item.build()
+        if isinstance(item, Query):
+            specs.append(("q", item, intern(item)))
+        elif isinstance(item, ExprQuery):
+            specs.append(
+                ("expr", item, {name: intern(sub) for name, sub in item.operands})
+            )
+        else:
+            raise QueryError(
+                "run_many items must be Query, QueryBuilder, or ExprQuery; "
+                f"got {type(item).__name__}"
+            )
+
+    runner = getattr(store, "_run_unique_batch", None)
+    if runner is None:
+        flat_results = [store.run(q) for q in flat]
+    else:
+        flat_results = runner(flat, parallel=parallel)
+
+    out: list[QueryResult | ExprResult] = []
+    for kind, item, ref in specs:
+        if kind == "q":
+            res = flat_results[ref]
+            if res.query is not item:
+                res = QueryResult(item, res.series, res.scanned_points)
+            out.append(res)
+        else:
+            out.append(
+                _evaluate_expr(
+                    item, {name: flat_results[i] for name, i in ref.items()}
+                )
+            )
+    return out

@@ -13,7 +13,8 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from .downsample import Downsample
+from . import aggregators
+from .downsample import Downsample, InvalidDownsampleSpec
 from .model import SeriesKey
 from .series import SeriesSlice
 
@@ -57,8 +58,22 @@ class Query:
     group_by: Sequence[str] = ()
 
     def __post_init__(self) -> None:
+        # Fail fast: a malformed query should die where it was written,
+        # not deep inside plan execution (or worse, inside a batch that
+        # interleaves it with eleven healthy dashboard panels).
+        if not isinstance(self.metric, str) or not self.metric:
+            raise QueryError(f"metric must be a non-empty string: {self.metric!r}")
         if self.end < self.start:
             raise QueryError(f"end ({self.end}) precedes start ({self.start})")
+        try:
+            aggregators.get(self.aggregator)
+        except aggregators.UnknownAggregator as exc:
+            raise QueryError(str(exc)) from None
+        if isinstance(self.downsample, str):
+            try:
+                Downsample.parse(self.downsample)
+            except InvalidDownsampleSpec as exc:
+                raise QueryError(str(exc)) from None
 
     def parsed_downsample(self) -> Downsample | None:
         if self.downsample is None:

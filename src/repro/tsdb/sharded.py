@@ -8,12 +8,14 @@ one `extend_batch` per touched series), and reads fan out to the owning
 shards before merging.
 
 Semantics are pinned to the single store: a series lives entirely in
-exactly one shard, every query runs through the same
-:func:`~repro.tsdb.database.execute_query` plan over the fanned-out
-scans, and the cross-series merge is the same sorted timestamp union —
-so query, aggregation, downsample, and retention results are
-byte-identical for any shard count (the equivalence suite in
-``tests/test_tsdb_sharded.py`` enforces this for n ∈ {1, 2, 4, 7}).
+exactly one shard, every query runs through the shared
+:mod:`~repro.tsdb.plan` stages (groups form from the global key set,
+slices aggregate in sorted key order, pushdown engages only where the
+distributed merge is bit-exact), and the cross-series merge is the same
+sorted timestamp union — so query, aggregation, downsample, and
+retention results are byte-identical for any shard count, serial or
+thread-pooled (``tests/test_tsdb_sharded.py`` and
+``tests/test_tsdb_plan.py`` enforce this for n ∈ {1, 2, 4, 7}).
 
 Routing uses CRC-32 of the canonical key string: stable across
 processes and Python's per-run hash randomization, which is what lets a
@@ -25,16 +27,19 @@ from __future__ import annotations
 import os
 import re
 import zlib
+from collections import defaultdict
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Mapping
+from typing import Mapping, Sequence
 
-from . import persistence
+from . import aggregators, persistence
+from . import plan as planner
 from .batch import PointBatch
-from .database import TSDB, execute_query
+from .database import TSDB
+from .downsample import apply as apply_downsample
 from .interface import StoreApi
 from .model import DataPoint, SeriesKey, validate_name
-from .query import Query, QueryResult
+from .query import Query, QueryResult, ResultSeries, compute_rate
 from .series import SeriesSlice
 
 
@@ -187,19 +192,241 @@ class ShardedTSDB(StoreApi):
     # ------------------------------------------------------------------
     # Queries (fan out, then merge through the shared plan)
     # ------------------------------------------------------------------
-    def run(self, query: Query) -> QueryResult:
-        """Fan the scan out to owning shards, merge centrally.
+    def run(self, query: Query, *, parallel: bool | None = None) -> QueryResult:
+        """Execute a query; a planner shim, like ``TSDB.run``.
 
-        Each shard matches and scans only its own series (the
-        parallelizable part); the coordinator then runs the shared
-        group/aggregate/downsample plan over the gathered slices, whose
-        sorted-timestamp union is the k-way merge step.
+        A single query is a batch of one: matching, scanning, and the
+        pushdown decisions all go through ``_run_unique_batch``, so
+        one-shot and batched execution return identical results.
+        ``parallel`` picks serial vs thread-pooled fan-out (default:
+        pooled when there is more than one shard); both paths are
+        byte-identical.
         """
-        slices: dict[SeriesKey, SeriesSlice] = {}
-        for sh in self._shards:
-            for key in sh._match(query.metric, query.tags):
-                slices[key] = sh._stores[key].scan(query.start, query.end)
-        return execute_query(query, list(slices), slices.__getitem__)
+        return self.run_many([query], parallel=parallel)[0]
+
+    def _run_unique_batch(
+        self, queries: Sequence[Query], parallel: bool | None = None
+    ) -> list[QueryResult]:
+        """Batched fan-out with per-shard pushdown behind ``run_many``.
+
+        Planning happens once for the whole batch:
+
+        1. *Match* (coordinator): each distinct (metric, tags) filter
+           matches once across all shards, recording the owning shard
+           per key.  Groups form from the global key set — identical to
+           the single store's grouping.
+        2. *Shard phase* (thread pool, one task per shard): each shard
+           scans every touched local series once over the covering
+           range of all queries needing it, applies per-series rate,
+           and then pushes work down as far as exactness allows: a
+           group whose series all live on this shard is finished here
+           (aggregate + downsample, same helpers as the central plan);
+           a group that spans shards with a
+           :func:`~repro.tsdb.aggregators.mergeable` aggregator
+           (min/max/count) reduces to a partial column; everything else
+           returns its post-rate slices for central aggregation.
+        3. *Merge phase* (coordinator, pooled when parallel): merge
+           partial columns, run the central plan over gathered slices
+           for the float-fold aggregators, and assemble each query's
+           series in sorted group order with exact scanned-point
+           accounting.
+
+        Every stage runs the same :mod:`~repro.tsdb.plan` helpers over
+        the same slices in the same sorted-key order as the single
+        store, so results are byte-identical for any shard count, with
+        ``parallel`` on or off.
+        """
+        n = len(self._shards)
+        if parallel is None:
+            # Pooling one worker only adds overhead: auto mode requires
+            # both multiple shards and multiple cores.
+            use_pool = n > 1 and _fanout_workers(n) > 1
+        else:
+            use_pool = bool(parallel)
+
+        # --- 1. match: distinct filters once, owner shard per key -----
+        match_cache: dict[tuple, list[tuple[SeriesKey, int]]] = {}
+        matched: list[list[tuple[SeriesKey, int]]] = []
+        for q in queries:
+            mk = (q.metric, tuple(sorted(q.tags.items())))
+            pairs = match_cache.get(mk)
+            if pairs is None:
+                pairs = [
+                    (key, si)
+                    for si, sh in enumerate(self._shards)
+                    for key in sh._match(q.metric, q.tags)
+                ]
+                match_cache[mk] = pairs
+            matched.append(pairs)
+
+        plans = [
+            (
+                q.parsed_downsample(),
+                aggregators.get_columnar(q.aggregator),
+                aggregators.mergeable(q.aggregator),
+            )
+            for q in queries
+        ]
+
+        # --- plan the shard tasks --------------------------------------
+        scan_plans = [planner.ScanPlan() for _ in range(n)]
+        prep: list[list[tuple[int, SeriesKey]]] = [[] for _ in range(n)]
+        local_jobs: list[list[tuple[int, tuple, list[SeriesKey]]]] = [
+            [] for _ in range(n)
+        ]
+        partial_jobs: list[list[tuple[int, tuple, list[SeriesKey]]]] = [
+            [] for _ in range(n)
+        ]
+        #: (qi, label) -> ("local", shard) | ("merge", shards) | ("gather",)
+        kinds: dict[tuple[int, tuple], tuple] = {}
+        groups_per_query: list[list[tuple[tuple, list[SeriesKey]]]] = []
+        for qi, (q, pairs) in enumerate(zip(queries, matched)):
+            shard_of = dict(pairs)
+            for key, si in pairs:
+                scan_plans[si].need(key, q.start, q.end)
+                prep[si].append((qi, key))
+            groups = sorted(planner.group_keys(q, [k for k, _ in pairs]).items())
+            groups_per_query.append(groups)
+            for label, keys in groups:
+                shards_here = sorted({shard_of[k] for k in keys})
+                if len(shards_here) == 1:
+                    kinds[(qi, label)] = ("local", shards_here[0])
+                    local_jobs[shards_here[0]].append((qi, label, keys))
+                elif plans[qi][2] is not None:
+                    kinds[(qi, label)] = ("merge", shards_here)
+                    for si in shards_here:
+                        partial_jobs[si].append(
+                            (qi, label, [k for k in keys if shard_of[k] == si])
+                        )
+                else:
+                    kinds[(qi, label)] = ("gather",)
+
+        # --- 2. shard phase --------------------------------------------
+        def shard_task(si: int):
+            shard = self._shards[si]
+            scans = scan_plans[si]
+            scans.resolve(lambda key, lo, hi: shard._stores[key].scan(lo, hi))
+            prepared: dict[tuple[int, SeriesKey], SeriesSlice] = {}
+            scanned: dict[int, int] = defaultdict(int)
+            for qi, key in prep[si]:
+                q = queries[qi]
+                sl = scans.slice_for(key, q.start, q.end)
+                scanned[qi] += len(sl)
+                if q.rate:
+                    sl = compute_rate(sl)
+                prepared[(qi, key)] = sl
+            stack_cache: dict = {}  # shared across this shard's jobs
+            finished: dict[tuple[int, tuple], SeriesSlice] = {}
+            for qi, label, keys in local_jobs[si]:
+                ds, agg, _ = plans[qi]
+                finished[(qi, label)] = planner.reduce_group(
+                    queries[qi],
+                    [prepared[(qi, k)] for k in keys],
+                    ds=ds,
+                    agg=agg,
+                    stack_cache=stack_cache,
+                )
+            partials: dict[tuple[int, tuple], SeriesSlice] = {}
+            for qi, label, keys in partial_jobs[si]:
+                partials[(qi, label)] = planner.partial_aggregate(
+                    [prepared[(qi, k)] for k in keys],
+                    plans[qi][2][0],
+                    stack_cache=stack_cache,
+                )
+            return scanned, finished, partials, prepared
+
+        if use_pool and n > 1:
+            with ThreadPoolExecutor(max_workers=_fanout_workers(n)) as pool:
+                shard_out = list(pool.map(shard_task, range(n)))
+                results = self._merge_phase(
+                    queries, plans, groups_per_query, kinds, shard_out, pool
+                )
+        else:
+            shard_out = [shard_task(si) for si in range(n)]
+            results = self._merge_phase(
+                queries, plans, groups_per_query, kinds, shard_out, None
+            )
+        return results
+
+    def _merge_phase(
+        self, queries, plans, groups_per_query, kinds, shard_out, pool
+    ) -> list[QueryResult]:
+        """Coordinator half of the batched fan-out: merge and assemble."""
+        by_key: dict[tuple[int, SeriesKey], SeriesSlice] = {}
+        for _, _, _, prepared in shard_out:
+            by_key.update(prepared)
+        # Shared across the central jobs: two panels aggregating the same
+        # prepared slices (avg + p95 over one metric) stack once.  Dict
+        # get/set are atomic under the GIL; a rare concurrent double
+        # compute of one key is wasted work, never wrong results.
+        stack_cache: dict = {}
+
+        def central(qi: int, label: tuple, keys: list[SeriesKey]) -> SeriesSlice:
+            q = queries[qi]
+            ds, agg, merge_pair = plans[qi]
+            kind = kinds[(qi, label)]
+            if kind[0] == "merge":
+                combined = planner.aggregate_across(
+                    [shard_out[si][2][(qi, label)] for si in kind[1]],
+                    merge_pair[1],
+                )
+            else:  # gather: central aggregation in global sorted-key order
+                combined = planner.aggregate_across(
+                    [by_key[(qi, k)] for k in keys], agg,
+                    stack_cache=stack_cache,
+                )
+            if ds is not None:
+                combined = apply_downsample(combined, ds, q.start, q.end)
+            return combined
+
+        # Central reductions are independent; fan them out on the same
+        # pool (numpy's sort/reduce kernels release the GIL).
+        todo = [
+            (qi, label, keys)
+            for qi, groups in enumerate(groups_per_query)
+            for label, keys in groups
+            if kinds[(qi, label)][0] != "local"
+        ]
+        if pool is not None and len(todo) > 1:
+            combined_slices = list(
+                pool.map(lambda job: central(*job), todo)
+            )
+        else:
+            combined_slices = [central(*job) for job in todo]
+        central_done = {
+            (qi, label): sl for (qi, label, _), sl in zip(todo, combined_slices)
+        }
+
+        results: list[QueryResult] = []
+        for qi, (q, groups) in enumerate(zip(queries, groups_per_query)):
+            series_out: list[ResultSeries] = []
+            for label, keys in groups:
+                kind = kinds[(qi, label)]
+                if kind[0] == "local":
+                    combined = shard_out[kind[1]][1][(qi, label)]
+                else:
+                    combined = central_done[(qi, label)]
+                series_out.append(
+                    ResultSeries(
+                        metric=q.metric,
+                        group_tags=dict(label),
+                        slice=combined,
+                        source_series=tuple(keys),
+                    )
+                )
+            if not series_out:
+                series_out.append(
+                    ResultSeries(q.metric, {}, planner._empty_slice(), ())
+                )
+            scanned = sum(out[0].get(qi, 0) for out in shard_out)
+            results.append(
+                QueryResult(
+                    query=q,
+                    series=tuple(series_out),
+                    scanned_points=scanned,
+                )
+            )
+        return results
 
     def series_slice(
         self, key: SeriesKey, start: int | None = None, end: int | None = None

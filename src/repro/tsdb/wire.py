@@ -1,0 +1,310 @@
+"""Versioned OpenTSDB-style JSON codec for query requests/responses.
+
+The wire format is the stable outer skin of the query engine: dashboards
+(or a future HTTP endpoint) speak JSON, the planner speaks
+:class:`~repro.tsdb.query.Query` / :class:`~repro.tsdb.plan.ExprQuery`.
+The shape mirrors OpenTSDB's ``/api/query``:
+
+.. code-block:: json
+
+    {"version": 1, "queries": [
+        {"metric": "air.co2.ppm", "start": 0, "end": 3600,
+         "tags": {"city": "trondheim"}, "aggregator": "avg",
+         "downsample": "5m-avg", "rate": false, "groupBy": ["node"]},
+        {"expr": "a - b", "operands": {"a": {"metric": "..."},
+                                       "b": {"metric": "..."}}}
+    ]}
+
+and the response carries one entry per request query, each with its
+result series as ``dps`` maps (timestamp → value, NaN encoded as
+``null``) plus scanned-point accounting:
+
+.. code-block:: json
+
+    {"version": 1, "results": [
+        {"series": [{"metric": "air.co2.ppm", "tags": {"node": "ctt-01"},
+                     "dps": {"0": 412.5, "300": null}}],
+         "scannedPoints": 1234}
+    ]}
+
+Floats round-trip exactly (Python's JSON float repr is shortest
+round-trip); unknown versions and unknown fields are rejected loudly so
+format drift cannot pass silently.  :func:`handle_request` is the
+one-call server side: decode → ``run_many`` → encode.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .plan import ExprQuery, ExprResult, QueryBuilder
+from .query import Query, QueryError, QueryResult
+
+#: Current (and only) wire format version.
+WIRE_VERSION = 1
+
+
+class WireError(ValueError):
+    """Malformed wire request/response."""
+
+
+_QUERY_FIELDS = {
+    "metric", "start", "end", "tags", "aggregator", "downsample", "rate",
+    "groupBy",
+}
+_EXPR_FIELDS = {"expr", "operands"}
+
+
+# ---------------------------------------------------------------------------
+# Requests
+# ---------------------------------------------------------------------------
+
+
+def encode_query(q: Query | QueryBuilder | ExprQuery) -> dict:
+    """One query as its wire dict (sub-queries of expressions recurse)."""
+    if isinstance(q, QueryBuilder):
+        q = q.build()
+    if isinstance(q, ExprQuery):
+        return {
+            "expr": q.formula,
+            "operands": {name: encode_query(sub) for name, sub in q.operands},
+        }
+    if not isinstance(q, Query):
+        raise WireError(f"cannot encode {type(q).__name__} as a wire query")
+    out: dict = {"metric": q.metric, "start": int(q.start), "end": int(q.end)}
+    if q.tags:
+        out["tags"] = {str(k): str(v) for k, v in sorted(q.tags.items())}
+    out["aggregator"] = q.aggregator
+    if q.downsample is not None:
+        ds = q.parsed_downsample()
+        out["downsample"] = ds.spec()
+    if q.rate:
+        out["rate"] = True
+    if q.group_by:
+        out["groupBy"] = sorted(q.group_by)
+    return out
+
+
+def encode_request(
+    queries: Sequence[Query | QueryBuilder | ExprQuery],
+) -> dict:
+    """A ``run_many`` batch as a versioned wire request dict."""
+    return {
+        "version": WIRE_VERSION,
+        "queries": [encode_query(q) for q in queries],
+    }
+
+
+def request_to_json(
+    queries: Sequence[Query | QueryBuilder | ExprQuery], **dumps_kwargs
+) -> str:
+    return json.dumps(encode_request(queries), **dumps_kwargs)
+
+
+def decode_query(obj: Mapping) -> Query | ExprQuery:
+    """One wire dict back into a planner query (strict field checking)."""
+    if not isinstance(obj, Mapping):
+        raise WireError(f"query must be an object, got {type(obj).__name__}")
+    if "expr" in obj:
+        unknown = set(obj) - _EXPR_FIELDS
+        if unknown:
+            raise WireError(f"unknown expression fields: {sorted(unknown)}")
+        operands = obj.get("operands")
+        if not isinstance(operands, Mapping) or not operands:
+            raise WireError("expression needs a non-empty 'operands' object")
+        decoded_ops = []
+        for name, sub in sorted(operands.items()):
+            sub_q = decode_query(sub)
+            if isinstance(sub_q, ExprQuery):
+                raise WireError("nested expressions are not supported")
+            decoded_ops.append((str(name), sub_q))
+        try:
+            return ExprQuery(str(obj["expr"]), tuple(decoded_ops))
+        except QueryError as exc:
+            raise WireError(str(exc)) from None
+    unknown = set(obj) - _QUERY_FIELDS
+    if unknown:
+        raise WireError(f"unknown query fields: {sorted(unknown)}")
+    for field in ("metric", "start", "end"):
+        if field not in obj:
+            raise WireError(f"query is missing required field {field!r}")
+    tags = obj.get("tags", {})
+    if not isinstance(tags, Mapping):
+        raise WireError("'tags' must be an object of tag filters")
+    group_by = obj.get("groupBy", ())
+    if isinstance(group_by, str) or not isinstance(group_by, Sequence):
+        raise WireError("'groupBy' must be a list of tag keys")
+    try:
+        return Query(
+            metric=obj["metric"],
+            start=int(obj["start"]),
+            end=int(obj["end"]),
+            tags={str(k): str(v) for k, v in tags.items()},
+            aggregator=str(obj.get("aggregator", "avg")),
+            downsample=obj.get("downsample"),
+            rate=bool(obj.get("rate", False)),
+            group_by=tuple(str(g) for g in group_by),
+        )
+    except WireError:
+        raise
+    except (QueryError, TypeError, ValueError) as exc:
+        raise WireError(str(exc)) from None
+
+
+def decode_request(request: str | bytes | Mapping) -> list[Query | ExprQuery]:
+    """A wire request (JSON text or already-parsed dict) into queries."""
+    if isinstance(request, (str, bytes)):
+        try:
+            request = json.loads(request)
+        except json.JSONDecodeError as exc:
+            raise WireError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(request, Mapping):
+        raise WireError("request must be a JSON object")
+    version = request.get("version")
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"unsupported wire version {version!r} (this codec speaks "
+            f"{WIRE_VERSION})"
+        )
+    unknown = set(request) - {"version", "queries"}
+    if unknown:
+        raise WireError(f"unknown request fields: {sorted(unknown)}")
+    queries = request.get("queries")
+    if not isinstance(queries, Sequence) or isinstance(queries, (str, bytes)):
+        raise WireError("'queries' must be a list")
+    return [decode_query(q) for q in queries]
+
+
+# ---------------------------------------------------------------------------
+# Responses
+# ---------------------------------------------------------------------------
+
+
+def _encode_value(v: float) -> float | None:
+    return None if math.isnan(v) else float(v)
+
+
+def _encode_series(s) -> dict:
+    return {
+        "metric": s.metric,
+        "tags": dict(sorted(s.group_tags.items())),
+        "dps": {
+            str(int(ts)): _encode_value(val)
+            for ts, val in zip(s.timestamps.tolist(), s.values.tolist())
+        },
+    }
+
+
+def encode_response(
+    results: Sequence[QueryResult | ExprResult],
+) -> dict:
+    """``run_many`` output as a versioned wire response dict."""
+    entries = []
+    for res in results:
+        entry: dict = {}
+        if isinstance(res, ExprResult):
+            entry["expr"] = res.expr.formula
+        entry["series"] = [_encode_series(s) for s in res.series]
+        entry["scannedPoints"] = int(res.scanned_points)
+        entries.append(entry)
+    return {"version": WIRE_VERSION, "results": entries}
+
+
+def response_to_json(
+    results: Sequence[QueryResult | ExprResult], **dumps_kwargs
+) -> str:
+    return json.dumps(encode_response(results), **dumps_kwargs)
+
+
+@dataclass(frozen=True)
+class WireSeries:
+    """One decoded result series (client-side view)."""
+
+    metric: str
+    tags: dict
+    timestamps: np.ndarray
+    values: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.timestamps.shape[0])
+
+
+@dataclass(frozen=True)
+class WireResult:
+    """One decoded per-query result (client-side view)."""
+
+    series: tuple[WireSeries, ...]
+    scanned_points: int
+    expr: str | None = None
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+    def __iter__(self):
+        return iter(self.series)
+
+
+def decode_response(response: str | bytes | Mapping) -> list[WireResult]:
+    """A wire response back into numpy-backed client results."""
+    if isinstance(response, (str, bytes)):
+        try:
+            response = json.loads(response)
+        except json.JSONDecodeError as exc:
+            raise WireError(f"response is not valid JSON: {exc}") from None
+    if not isinstance(response, Mapping):
+        raise WireError("response must be a JSON object")
+    if response.get("version") != WIRE_VERSION:
+        raise WireError(
+            f"unsupported wire version {response.get('version')!r}"
+        )
+    out: list[WireResult] = []
+    for entry in response.get("results", ()):
+        series = []
+        for s in entry.get("series", ()):
+            dps = s.get("dps", {})
+            try:
+                ts = np.array([int(k) for k in dps], dtype=np.int64)
+                vals = np.array(
+                    [math.nan if v is None else float(v) for v in dps.values()],
+                    dtype=np.float64,
+                )
+            except (TypeError, ValueError) as exc:
+                raise WireError(f"malformed dps entry: {exc}") from None
+            order = np.argsort(ts, kind="stable")
+            series.append(
+                WireSeries(
+                    metric=str(s.get("metric", "")),
+                    tags=dict(s.get("tags", {})),
+                    timestamps=ts[order],
+                    values=vals[order],
+                )
+            )
+        out.append(
+            WireResult(
+                series=tuple(series),
+                scanned_points=int(entry.get("scannedPoints", 0)),
+                expr=entry.get("expr"),
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Server side
+# ---------------------------------------------------------------------------
+
+
+def handle_request(store, request: str | bytes | Mapping) -> dict:
+    """Decode a wire request, execute it as one batch, encode the reply.
+
+    The whole request plans together through ``store.run_many`` —
+    shared matching, shared scans, pushdown — so a 12-panel dashboard
+    request costs one planning pass, not twelve.
+    """
+    queries = decode_request(request)
+    return encode_response(store.run_many(queries))

@@ -16,28 +16,35 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..analytics.aqi import caqi
-from ..tsdb import METRIC_CO2, Query, TimeSeriesStore
+from ..tsdb import METRIC_CO2, ExprQuery, Query, TimeSeriesStore, expr
 from .render import horizontal_bar, value_color
 from .timeseries import Chart
 
 
 @dataclass
 class TimeseriesPanel:
-    """A line chart bound to one TSDB query."""
+    """A line chart bound to one TSDB query (or expression query)."""
 
     title: str
-    query: Query
+    query: Query | ExprQuery
 
-    def render_text(self, db: TimeSeriesStore, width: int = 72) -> str:
+    def _result(self, db: TimeSeriesStore):
+        run_many = getattr(db, "run_many", None)
+        if run_many is not None:
+            return run_many([self.query])[0]
+        return db.run(self.query)
+
+    def render_text(
+        self, db: TimeSeriesStore, width: int = 72, result=None
+    ) -> str:
         chart = Chart(self.title, width=width)
-        result = db.run(self.query)
-        for series in result:
+        for series in self._result(db) if result is None else result:
             chart.add_result(series)
         return chart.render_text()
 
-    def render_html(self, db: TimeSeriesStore) -> str:
+    def render_html(self, db: TimeSeriesStore, result=None) -> str:
         chart = Chart(self.title)
-        for series in db.run(self.query):
+        for series in self._result(db) if result is None else result:
             chart.add_result(series)
         return chart.render_svg()
 
@@ -170,14 +177,56 @@ class Dashboard:
         self.panels.append(panel)
         return self
 
-    def render_text(self, width: int = 72) -> str:
-        parts = [f"### {self.title} ###"]
-        for panel in self.panels:
-            parts.append(panel.render_text(self.db, width=width))
-        return "\n\n".join(parts)
+    def prefetch_results(self) -> dict[int, object]:
+        """One batched ``run_many`` for every panel-bound query.
 
-    def render_html(self) -> str:
-        body = "\n".join(panel.render_html(self.db) for panel in self.panels)
+        The whole dashboard plans as a single batch: panels sharing
+        series share scans, duplicate queries execute once, and the
+        sharded engine fans the batch out in one thread-pooled pass
+        instead of once per panel.  Returns panel-index → result.
+        """
+        bound = [
+            (i, p.query)
+            for i, p in enumerate(self.panels)
+            if isinstance(p, TimeseriesPanel)
+        ]
+        if not bound:
+            return {}
+        run_many = getattr(self.db, "run_many", None)
+        if run_many is None:  # store without the v2 query surface
+            return {i: self.db.run(q) for i, q in bound}
+        results = run_many([q for _, q in bound])
+        return {i: r for (i, _), r in zip(bound, results)}
+
+    def _render_panels(
+        self,
+        renderer: str,
+        width: int | None = None,
+        prefetched: dict[int, object] | None = None,
+    ) -> list[str]:
+        results = self.prefetch_results() if prefetched is None else prefetched
+        parts = []
+        for i, panel in enumerate(self.panels):
+            kwargs = {} if width is None else {"width": width}
+            if isinstance(panel, TimeseriesPanel):
+                kwargs["result"] = results.get(i)
+            parts.append(getattr(panel, renderer)(self.db, **kwargs))
+        return parts
+
+    def render_text(
+        self, width: int = 72, *, prefetched: dict[int, object] | None = None
+    ) -> str:
+        return "\n\n".join(
+            [
+                f"### {self.title} ###",
+                *self._render_panels("render_text", width, prefetched),
+            ]
+        )
+
+    def render_html(
+        self, *, prefetched: dict[int, object] | None = None
+    ) -> str:
+        body = "\n".join(self._render_panels("render_html", None, prefetched))
         return (
             "<!DOCTYPE html><html><head><meta charset='utf-8'>"
             f"<title>{self.title}</title>"
@@ -191,6 +240,33 @@ class Dashboard:
             ".very_high{background:#f08a8a}</style></head><body>"
             f"<h1>{self.title}</h1>\n{body}\n</body></html>"
         )
+
+
+def batch_prefetch(dashboards: list["Dashboard"]) -> list[dict[int, object]]:
+    """Prefetch panel results for several dashboards in one pass.
+
+    Panels are grouped by their dashboard's store and each store gets a
+    single ``run_many`` batch — the wall display's N dashboards over one
+    TSDB cost one planning pass instead of one per panel.  Returns one
+    panel-index → result mapping per dashboard.
+    """
+    out: list[dict[int, object]] = [{} for _ in dashboards]
+    by_store: dict[int, tuple[object, list[tuple[int, int, object]]]] = {}
+    for di, dash in enumerate(dashboards):
+        for pi, panel in enumerate(dash.panels):
+            if isinstance(panel, TimeseriesPanel):
+                by_store.setdefault(id(dash.db), (dash.db, []))[1].append(
+                    (di, pi, panel.query)
+                )
+    for store, items in by_store.values():
+        run_many = getattr(store, "run_many", None)
+        if run_many is None:
+            results = [store.run(q) for _, _, q in items]
+        else:
+            results = run_many([q for _, _, q in items])
+        for (di, pi, _), res in zip(items, results):
+            out[di][pi] = res
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -245,6 +321,22 @@ def build_regional_dashboard(
                 end,
                 downsample=downsample,
                 group_by=("city",),
+            ),
+        )
+    )
+    # Expression panel: each city's enhancement over the regional
+    # baseline — the grouped operand broadcasts against the ungrouped
+    # one, and both sub-queries share scans with the panels above.
+    dash.add(
+        TimeseriesPanel(
+            f"{metric} enhancement over regional baseline",
+            expr(
+                "city - baseline",
+                city=Query(
+                    metric, start, end, downsample=downsample,
+                    group_by=("city",),
+                ),
+                baseline=Query(metric, start, end, downsample=downsample),
             ),
         )
     )

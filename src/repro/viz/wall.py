@@ -9,7 +9,7 @@ from dataclasses import dataclass, field
 
 from ..dataport import AlarmLog, Severity
 from ..tsdb import TimeSeriesStore
-from .dashboard import Dashboard
+from .dashboard import Dashboard, batch_prefetch
 from .network_map import render_text_map
 
 
@@ -52,8 +52,10 @@ class WallDisplay:
             render_text_map(snapshot, width=width, height=20),
             render_alarm_panel(self.alarms, width=width),
         ]
-        for dashboard in self.dashboards:
-            sections.append(dashboard.render_text(width=width))
+        # All dashboards' panel queries plan as one batch per store.
+        prefetched = batch_prefetch(self.dashboards)
+        for dashboard, results in zip(self.dashboards, prefetched):
+            sections.append(dashboard.render_text(width=width, prefetched=results))
         stats = snapshot.get("sensors", {})
         live = sum(1 for s in stats.values() if not s.get("overdue"))
         sections.append(

@@ -408,6 +408,37 @@ class TestStreamsBridge:
         assert key.tag("node") == "s1"
 
 
+class TestRegionalQueries:
+    def test_query_cities_matches_per_city_runs(self):
+        """The batched per-city helper returns exactly what N separate
+        city-scoped run() calls would, in registration order."""
+        scheduler = Scheduler(SimClock(start=0))
+        store = ShardedTSDB(3)
+        hub = RegionalHub(store, scheduler, flush_interval_s=10)
+        for city in ("trondheim", "vejle", "bergen"):
+            ingress = hub.register_city(CityPolicy(city))
+            for batch in city_traffic(city, seed=7, n_batches=5):
+                ingress.put_batch(batch)
+        hub.drain_all()
+        results = hub.query_cities(
+            "air.co2.ppm", 0, 10**6, downsample="5m-avg", group_by=("node",)
+        )
+        assert list(results) == hub.cities
+        for city, res in results.items():
+            ref = store.run(
+                Query(
+                    "air.co2.ppm", 0, 10**6, tags={"city": city},
+                    downsample="5m-avg", group_by=("node",),
+                )
+            )
+            assert res.scanned_points == ref.scanned_points
+            assert len(res) == len(ref)
+            for sa, sb in zip(res, ref):
+                assert dict(sa.group_tags) == dict(sb.group_tags)
+                assert np.array_equal(sa.timestamps, sb.timestamps)
+                assert np.array_equal(sa.values, sb.values, equal_nan=True)
+
+
 class TestRegionalDashboard:
     def test_renders_per_city_panels_and_health(self):
         scheduler = Scheduler(SimClock(start=0))

@@ -1,0 +1,463 @@
+"""Golden equivalence suite for the v2 query engine.
+
+The query API was redesigned (builder, batched ``run_many``, shard
+pushdown, expression queries) but *not* changed: every redesigned
+surface must return byte-identical results to the seed query path —
+``execute_query`` over per-query match + direct scans, exactly what the
+seed ``TSDB.run`` did.  This suite pins that equivalence on single and
+sharded stores for n ∈ {1, 2, 4, 7}, with the thread-pooled fan-out on
+and off, plus the semantics of the new surfaces themselves.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tsdb import (
+    ExprQuery,
+    Query,
+    QueryError,
+    ShardedTSDB,
+    TSDB,
+    execute_query,
+    expr,
+    select,
+)
+from repro.tsdb.plan import ScanPlan
+
+SHARD_COUNTS = (1, 2, 4, 7)
+METRICS = ("air.co2.ppm", "air.no2.ugm3", "weather.temperature.c",
+           "traffic.count.vehicles")
+NODES = tuple(f"ctt-{i:02d}" for i in range(9))
+CITIES = ("trondheim", "vejle")
+
+
+def seed_run(db: TSDB, query: Query):
+    """The seed one-shot path: per-query match + direct scans.
+
+    This is exactly what ``TSDB.run`` did before the planner existed;
+    everything new is measured against it.
+    """
+    matched = db._match(query.metric, query.tags)
+    return execute_query(
+        query,
+        matched,
+        lambda key: db._stores[key].scan(query.start, query.end),
+    )
+
+
+def random_rows(seed: int, n: int = 3_000):
+    rng = np.random.default_rng(seed)
+    metrics = rng.integers(0, len(METRICS), size=n)
+    nodes = rng.integers(0, len(NODES), size=n)
+    cities = rng.integers(0, len(CITIES), size=n)
+    ts = rng.integers(0, 5_000, size=n) * 60
+    late = rng.random(n) < 0.05
+    ts[late] -= 720
+    values = rng.normal(400.0, 25.0, size=n)
+    # A sprinkle of NaNs exercises the aggregators' masking paths.
+    values[rng.random(n) < 0.01] = np.nan
+    return [
+        (METRICS[int(m)], int(t), float(v),
+         {"node": NODES[int(nd)], "city": CITIES[int(c)]})
+        for m, t, v, nd, c in zip(metrics, ts, values, nodes, cities)
+    ]
+
+
+def build_stores(seed: int = 2026):
+    rows = random_rows(seed)
+    single = TSDB()
+    shardeds = [ShardedTSDB(n) for n in SHARD_COUNTS]
+    for metric, ts, value, tags in rows:
+        single.put(metric, ts, value, tags)
+        for sh in shardeds:
+            sh.put(metric, ts, value, tags)
+    return single, shardeds
+
+
+@pytest.fixture(scope="module")
+def stores():
+    return build_stores()
+
+
+def assert_results_identical(a, b):
+    assert len(a) == len(b)
+    assert a.scanned_points == b.scanned_points
+    for ra, rb in zip(a, b):
+        assert ra.metric == rb.metric
+        assert dict(ra.group_tags) == dict(rb.group_tags)
+        assert ra.source_series == rb.source_series
+        assert np.array_equal(ra.timestamps, rb.timestamps)
+        assert np.array_equal(ra.values, rb.values, equal_nan=True)
+
+
+#: Query mix covering every plan shape: plain merges, wildcard and
+#: alternation filters, mergeable pushdown aggregators (min/max/count),
+#: float-fold aggregators that must run centrally (avg/sum/dev/p95),
+#: group-by (single-series groups = full local pushdown), rate,
+#: downsampling with fill policies, and an unmatched metric.
+QUERIES = [
+    Query("air.co2.ppm", 0, 400_000),
+    Query("air.co2.ppm", 50_000, 200_000, tags={"city": "trondheim"}),
+    Query("air.no2.ugm3", 0, 400_000, tags={"node": "*"}, aggregator="sum"),
+    Query("air.no2.ugm3", 0, 400_000, tags={"node": "ctt-01|ctt-04"},
+          aggregator="max"),
+    Query("air.co2.ppm", 0, 400_000, aggregator="min"),
+    Query("air.co2.ppm", 0, 400_000, aggregator="count"),
+    Query("air.co2.ppm", 0, 400_000, aggregator="max", downsample="1h-max"),
+    Query("weather.temperature.c", 0, 400_000, aggregator="dev"),
+    Query("weather.temperature.c", 0, 400_000, aggregator="p95",
+          downsample="5m-avg"),
+    Query("weather.temperature.c", 0, 400_000, group_by=["node"]),
+    Query("air.co2.ppm", 0, 400_000, group_by=["city", "node"],
+          aggregator="min"),
+    Query("air.co2.ppm", 0, 400_000, downsample="5m-avg-nan"),
+    Query("weather.temperature.c", 0, 400_000, downsample="1h-max",
+          group_by=["city"]),
+    Query("traffic.count.vehicles", 0, 400_000, rate=True),
+    Query("traffic.count.vehicles", 0, 400_000, rate=True,
+          aggregator="count", downsample="1h-sum-zero"),
+    Query("no.such.metric", 0, 400_000),
+]
+
+
+class TestShimEquivalence:
+    """run / query / query_range are thin shims over the planner."""
+
+    def test_single_store_run_matches_seed(self, stores):
+        single, _ = stores
+        for q in QUERIES:
+            assert_results_identical(single.run(q), seed_run(single, q))
+
+    def test_query_helper_matches_seed(self, stores):
+        single, _ = stores
+        q = QUERIES[1]
+        res = single.query(
+            q.metric, q.start, q.end, tags=dict(q.tags),
+        )
+        assert_results_identical(res, seed_run(single, q))
+
+    def test_query_range_matches_seed(self, stores):
+        single, _ = stores
+        q = QUERIES[0]
+        rs = single.query_range(q.metric, q.start, q.end)
+        ref = seed_run(single, q).single()
+        assert np.array_equal(rs.timestamps, ref.timestamps)
+        assert np.array_equal(rs.values, ref.values, equal_nan=True)
+
+
+@pytest.mark.parametrize("n", SHARD_COUNTS)
+class TestShardedEquivalence:
+    """Pushdown fan-out == seed central plan, any shard count, serial
+    or thread-pooled."""
+
+    def _sharded(self, stores, n):
+        return stores[1][SHARD_COUNTS.index(n)]
+
+    def test_run_matches_seed(self, stores, n):
+        single, _ = stores
+        sharded = self._sharded(stores, n)
+        for q in QUERIES:
+            assert_results_identical(sharded.run(q), seed_run(single, q))
+
+    def test_parallel_switch_byte_identical(self, stores, n):
+        sharded = self._sharded(stores, n)
+        serial = sharded.run_many(QUERIES, parallel=False)
+        pooled = sharded.run_many(QUERIES, parallel=True)
+        for a, b in zip(serial, pooled):
+            assert_results_identical(a, b)
+
+    def test_run_many_matches_sequential_runs(self, stores, n):
+        sharded = self._sharded(stores, n)
+        batch = sharded.run_many(QUERIES)
+        for q, res in zip(QUERIES, batch):
+            assert_results_identical(res, sharded.run(q))
+
+    def test_result_carries_original_query(self, stores, n):
+        sharded = self._sharded(stores, n)
+        batch = sharded.run_many(QUERIES)
+        for q, res in zip(QUERIES, batch):
+            assert res.query is q
+
+
+class TestRunManyBatching:
+    def test_single_store_batch_matches_seed(self, stores):
+        single, _ = stores
+        for q, res in zip(QUERIES, single.run_many(QUERIES)):
+            assert_results_identical(res, seed_run(single, q))
+
+    def test_duplicate_queries_share_execution(self, stores):
+        single, _ = stores
+        q = QUERIES[0]
+        dup = Query(q.metric, q.start, q.end)
+        a, b = single.run_many([q, dup])
+        assert a.query is q and b.query is dup
+        assert a.series is b.series  # one execution, shared series
+
+    def test_overlapping_ranges_subslice_exactly(self, stores):
+        """Queries with different ranges share one covering scan; the
+        sub-ranges must equal direct scans."""
+        single, _ = stores
+        qs = [
+            Query("air.co2.ppm", 0, 400_000),
+            Query("air.co2.ppm", 120_000, 130_000),
+            Query("air.co2.ppm", 60_000, 300_000, downsample="5m-avg"),
+        ]
+        for q, res in zip(qs, single.run_many(qs)):
+            assert_results_identical(res, seed_run(single, q))
+
+    def test_empty_batch(self, stores):
+        single, _ = stores
+        assert single.run_many([]) == []
+
+    def test_rejects_non_queries(self, stores):
+        single, _ = stores
+        with pytest.raises(QueryError):
+            single.run_many(["air.co2.ppm"])
+
+
+class TestBuilder:
+    def test_builder_builds_equivalent_query(self):
+        q = (
+            select("air.co2.ppm")
+            .where(city="trondheim", node="*")
+            .range(0, 3600)
+            .downsample("5m-avg")
+            .rate()
+            .group_by("node")
+            .build()
+        )
+        assert q == Query(
+            "air.co2.ppm", 0, 3600,
+            tags={"city": "trondheim", "node": "*"},
+            downsample="5m-avg", rate=True, group_by=("node",),
+        )
+
+    def test_builder_is_immutable_and_forkable(self):
+        base = select("air.co2.ppm").range(0, 100)
+        a = base.where(node="a")
+        b = base.where(node="b").aggregate("max")
+        assert base.build().tags == {}
+        assert a.build().tags == {"node": "a"}
+        assert b.build().aggregator == "max"
+
+    def test_bound_builder_runs_through_planner(self, stores):
+        single, _ = stores
+        q = Query("air.co2.ppm", 0, 400_000, tags={"city": "vejle"})
+        res = (
+            single.select("air.co2.ppm").where(city="vejle")
+            .range(0, 400_000).run()
+        )
+        assert_results_identical(res, seed_run(single, q))
+
+    def test_sharded_builder_identical_to_single(self, stores):
+        single, shardeds = stores
+        for sharded in shardeds:
+            res = (
+                sharded.select("weather.temperature.c").where(node="ctt-03")
+                .range(0, 400_000).downsample("15m-avg").run()
+            )
+            ref = (
+                single.select("weather.temperature.c").where(node="ctt-03")
+                .range(0, 400_000).downsample("15m-avg").run()
+            )
+            assert_results_identical(res, ref)
+
+    def test_unbound_builder_requires_store(self):
+        with pytest.raises(QueryError):
+            select("m").range(0, 1).run()
+
+    def test_builder_missing_range(self):
+        with pytest.raises(QueryError):
+            select("m").build()
+
+    def test_builders_accepted_by_run_many(self, stores):
+        single, _ = stores
+        b = select("air.co2.ppm").range(0, 400_000)
+        q = Query("air.co2.ppm", 0, 400_000)
+        a, ref = single.run_many([b, q])
+        assert a.series is ref.series
+
+
+class TestFailFast:
+    """Malformed queries die at construction, not mid-execution."""
+
+    def test_empty_metric(self):
+        with pytest.raises(QueryError):
+            Query("", 0, 100)
+
+    def test_non_string_metric(self):
+        with pytest.raises(QueryError):
+            Query(None, 0, 100)
+
+    def test_unknown_aggregator(self):
+        with pytest.raises(QueryError):
+            Query("m", 0, 100, aggregator="nope")
+
+    def test_malformed_downsample(self):
+        with pytest.raises(QueryError):
+            Query("m", 0, 100, downsample="5x-avg")
+
+    def test_end_before_start(self):
+        with pytest.raises(QueryError):
+            Query("m", 100, 50)
+
+    def test_valid_query_still_constructs(self):
+        Query("m", 0, 100, aggregator="p95", downsample="5m-avg-linear")
+
+
+class TestExpressions:
+    @pytest.fixture()
+    def db(self):
+        db = TSDB()
+        for i in range(10):
+            db.put("co2", i * 60, 400.0 + i, {"node": "a"})
+            db.put("co2", i * 60, 500.0 + i, {"node": "b"})
+        return db
+
+    def test_difference(self, db):
+        e = expr(
+            "a - b",
+            a=Query("co2", 0, 600, tags={"node": "a"}),
+            b=Query("co2", 0, 600, tags={"node": "b"}),
+        )
+        res = db.run_many([e])[0]
+        assert np.allclose(res.single().values, -100.0)
+        assert res.single().metric == "a - b"
+
+    def test_constants_and_precedence(self, db):
+        e = expr("2 * a + 1", a=Query("co2", 0, 0, tags={"node": "a"}))
+        res = db.run_many([e])[0]
+        assert res.single().values.tolist() == [801.0]
+
+    def test_grouped_broadcast(self, db):
+        """Per-node CO2 minus the all-node baseline: the grouped operand
+        sets the labels, the ungrouped one broadcasts."""
+        e = expr(
+            "node - baseline",
+            node=Query("co2", 0, 600, group_by=("node",)),
+            baseline=Query("co2", 0, 600),
+        )
+        res = db.run_many([e])[0]
+        by_node = {s.group_tags["node"]: s for s in res}
+        assert set(by_node) == {"a", "b"}
+        assert np.allclose(by_node["a"].values, -50.0)
+        assert np.allclose(by_node["b"].values, 50.0)
+
+    def test_missing_instants_are_nan(self, db):
+        db.put("co2", 2_000, 1.0, {"node": "a"})  # only node a has t=2000
+        e = expr(
+            "a - b",
+            a=Query("co2", 0, 2_000, tags={"node": "a"}),
+            b=Query("co2", 0, 2_000, tags={"node": "b"}),
+        )
+        res = db.run_many([e])[0].single()
+        assert np.isnan(res.values[-1])
+
+    def test_mismatched_group_labels_rejected(self, db):
+        db.put("co2", 0, 1.0, {"node": "c"})
+        e = expr(
+            "a - b",
+            a=Query("co2", 0, 600, group_by=("node",)),
+            b=Query("co2", 0, 600, tags={"node": "a|b"}, group_by=("node",)),
+        )
+        with pytest.raises(QueryError):
+            db.run_many([e])
+
+    def test_operand_sharing_with_sibling_panels(self, db):
+        """An expression operand equal to a sibling query executes once."""
+        q = Query("co2", 0, 600, tags={"node": "a"})
+        e = expr(
+            "a * 1",
+            a=Query("co2", 0, 600, tags={"node": "a"}),
+        )
+        qres, eres = db.run_many([q, e])
+        assert np.array_equal(qres.single().values, eres.single().values)
+
+    def test_unbound_name_rejected(self):
+        with pytest.raises(QueryError):
+            expr("a - b", a=Query("m", 0, 1))
+
+    def test_unused_operand_rejected(self):
+        with pytest.raises(QueryError):
+            expr("a", a=Query("m", 0, 1), b=Query("m", 0, 1))
+
+    def test_unsafe_formulas_rejected(self):
+        for bad in ("__import__('os')", "a.x", "a[0]", "f(a)", "a if a else a",
+                    "lambda: 1", "a == a"):
+            with pytest.raises(QueryError):
+                ExprQuery(bad, (("a", Query("m", 0, 1)),))
+
+    def test_builders_as_operands(self, db):
+        e = expr(
+            "hi - lo",
+            hi=select("co2").range(0, 600).aggregate("max"),
+            lo=select("co2").range(0, 600).aggregate("min"),
+        )
+        res = db.run_many([e])[0].single()
+        assert np.allclose(res.values, 100.0)
+
+    def test_sharded_expr_identical_to_single(self, db):
+        sharded = ShardedTSDB(4)
+        for key, sl in db.iter_series():
+            sharded.put_series(key.metric, sl.timestamps, sl.values,
+                               key.tag_dict())
+        e = expr(
+            "node - baseline",
+            node=Query("co2", 0, 600, group_by=("node",)),
+            baseline=Query("co2", 0, 600),
+        )
+        a = db.run_many([e])[0]
+        b = sharded.run_many([e])[0]
+        assert a.scanned_points == b.scanned_points
+        for sa, sb in zip(a, b):
+            assert np.array_equal(sa.timestamps, sb.timestamps)
+            assert np.array_equal(sa.values, sb.values, equal_nan=True)
+
+
+class TestScanPlan:
+    def test_covering_subslice_equals_direct_scan(self):
+        rng = np.random.default_rng(7)
+        db = TSDB()
+        ts = np.sort(rng.choice(100_000, size=5_000, replace=False))
+        db.put_series("m", ts, rng.normal(size=ts.shape[0]))
+        (key,) = db.series_for_metric("m")
+        plan = ScanPlan()
+        windows = [(0, 100_000), (10_000, 20_000), (55_555, 55_556),
+                   (99_000, 100_000), (100_001, 200_000)]
+        for lo, hi in windows:
+            plan.need(key, lo, hi)
+        plan.resolve(lambda k, lo, hi: db._stores[k].scan(lo, hi))
+        assert plan.touched == 1
+        for lo, hi in windows:
+            got = plan.slice_for(key, lo, hi)
+            want = db._stores[key].scan(lo, hi)
+            assert np.array_equal(got.timestamps, want.timestamps)
+            assert np.array_equal(got.values, want.values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    n_shards=st.sampled_from(SHARD_COUNTS),
+    agg=st.sampled_from(("avg", "sum", "min", "max", "count", "p90", "dev")),
+    downsample=st.sampled_from((None, "5m-avg", "1h-max-nan", "30m-sum-zero")),
+    rate=st.booleans(),
+    group_by=st.sampled_from(((), ("node",), ("city", "node"))),
+)
+def test_property_pushdown_equivalence(seed, n_shards, agg, downsample, rate,
+                                       group_by):
+    """Randomized workloads: batched sharded execution == seed plan."""
+    rows = random_rows(seed, n=400)
+    single, sharded = TSDB(), ShardedTSDB(n_shards)
+    for metric, ts, value, tags in rows:
+        single.put(metric, ts, value, tags)
+        sharded.put(metric, ts, value, tags)
+    q = Query("air.co2.ppm", 0, 300_000, aggregator=agg,
+              downsample=downsample, rate=rate, group_by=group_by)
+    ref = seed_run(single, q)
+    for res in (sharded.run_many([q], parallel=True)[0],
+                sharded.run_many([q], parallel=False)[0],
+                single.run_many([q])[0]):
+        assert_results_identical(res, ref)

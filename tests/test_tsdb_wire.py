@@ -1,0 +1,242 @@
+"""Round-trip tests for the versioned JSON wire codec.
+
+Requests must decode back to the queries that encoded them (hypothesis
+over the whole Query parameter space), responses must carry every
+timestamp/value bit-exactly through JSON text (floats round-trip via
+shortest-repr; NaN travels as null), and the strict version/field
+checking must reject drift loudly.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tsdb import (
+    Query,
+    TSDB,
+    WIRE_VERSION,
+    WireError,
+    expr,
+    handle_request,
+    select,
+)
+from repro.tsdb import wire
+
+names = st.from_regex(r"[A-Za-z0-9][A-Za-z0-9._\-]{0,8}", fullmatch=True)
+tag_values = st.one_of(
+    names,
+    st.just("*"),
+    st.builds(lambda a, b: f"{a}|{b}", names, names),
+)
+
+
+@st.composite
+def queries(draw):
+    start = draw(st.integers(0, 2**40))
+    return Query(
+        metric=draw(names),
+        start=start,
+        end=start + draw(st.integers(0, 2**32)),
+        tags=draw(st.dictionaries(names, tag_values, max_size=3)),
+        aggregator=draw(st.sampled_from(
+            ("avg", "sum", "min", "max", "count", "dev", "p95", "median"))),
+        downsample=draw(st.one_of(
+            st.none(),
+            st.builds(
+                lambda n, u, a, f: f"{n}{u}-{a}{f}",
+                st.integers(1, 90), st.sampled_from("smhd"),
+                st.sampled_from(("avg", "max", "sum", "count")),
+                st.sampled_from(("", "-nan", "-zero", "-previous", "-linear")),
+            ),
+        )),
+        rate=draw(st.booleans()),
+        group_by=draw(st.lists(names, max_size=2, unique=True).map(tuple)),
+    )
+
+
+def assert_same_query(a: Query, b: Query):
+    assert a.metric == b.metric
+    assert (a.start, a.end) == (b.start, b.end)
+    assert dict(a.tags) == dict(b.tags)
+    assert a.aggregator == b.aggregator
+    assert a.parsed_downsample() == b.parsed_downsample()
+    assert a.rate == b.rate
+    assert tuple(sorted(a.group_by)) == tuple(sorted(b.group_by))
+
+
+@settings(max_examples=100, deadline=None)
+@given(qs=st.lists(queries(), max_size=4))
+def test_request_round_trip(qs):
+    text = wire.request_to_json(qs)
+    decoded = wire.decode_request(text)
+    assert len(decoded) == len(qs)
+    for a, b in zip(qs, decoded):
+        assert_same_query(a, b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(q=queries(), formula_ops=st.sampled_from(("a - b", "a / b", "-a + 2")))
+def test_expr_request_round_trip(q, formula_ops):
+    names_used = {"a - b": ("a", "b"), "a / b": ("a", "b"), "-a + 2": ("a",)}
+    e = expr(formula_ops, **{name: q for name in names_used[formula_ops]})
+    (decoded,) = wire.decode_request(wire.request_to_json([e]))
+    assert decoded.formula == e.formula
+    for (na, qa), (nb, qb) in zip(e.operands, decoded.operands):
+        assert na == nb
+        assert_same_query(qa, qb)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ts=st.lists(st.integers(0, 2**40), min_size=0, max_size=30, unique=True),
+    data=st.data(),
+)
+def test_response_value_round_trip(ts, data):
+    """Every float bit (including NaN and ±inf) survives JSON text."""
+    values = data.draw(
+        st.lists(
+            st.floats(allow_nan=True, allow_infinity=True, width=64),
+            min_size=len(ts), max_size=len(ts),
+        )
+    )
+    db = TSDB()
+    if ts:
+        db.put_series("m", np.array(sorted(ts), np.int64),
+                      np.array(values, np.float64))
+    res = db.run_many([Query("m", 0, 2**40)])
+    text = wire.response_to_json(res)
+    (decoded,) = wire.decode_response(text)
+    (got,) = decoded.series
+    want = res[0].single()
+    assert np.array_equal(got.timestamps, want.timestamps)
+    assert np.array_equal(got.values, want.values, equal_nan=True)
+    assert decoded.scanned_points == res[0].scanned_points
+
+
+@pytest.fixture()
+def db():
+    db = TSDB()
+    for i in range(12):
+        db.put("air.co2.ppm", i * 300, 400.0 + i,
+               {"node": "a", "city": "trondheim"})
+        db.put("air.co2.ppm", i * 300, 410.0 + i,
+               {"node": "b", "city": "trondheim"})
+    return db
+
+
+class TestHandleRequest:
+    def test_end_to_end_equals_run_many(self, db):
+        qs = [
+            Query("air.co2.ppm", 0, 4000, downsample="10m-avg"),
+            Query("air.co2.ppm", 0, 4000, group_by=("node",)),
+        ]
+        response = handle_request(db, wire.request_to_json(qs))
+        direct = wire.encode_response(db.run_many(qs))
+        assert response == direct
+        # and the whole response survives a JSON round trip
+        assert json.loads(json.dumps(response)) == response
+
+    def test_expression_over_the_wire(self, db):
+        request = {
+            "version": WIRE_VERSION,
+            "queries": [{
+                "expr": "a - b",
+                "operands": {
+                    "a": {"metric": "air.co2.ppm", "start": 0, "end": 4000,
+                          "tags": {"node": "a"}},
+                    "b": {"metric": "air.co2.ppm", "start": 0, "end": 4000,
+                          "tags": {"node": "b"}},
+                },
+            }],
+        }
+        response = handle_request(db, request)
+        (entry,) = response["results"]
+        assert entry["expr"] == "a - b"
+        assert all(v == -10.0 for v in entry["series"][0]["dps"].values())
+
+    def test_nan_encodes_as_null(self, db):
+        request = wire.encode_request(
+            [Query("air.co2.ppm", 0, 7200, downsample="10m-avg-nan")]
+        )
+        response = handle_request(db, request)
+        dps = response["results"][0]["series"][0]["dps"]
+        assert None in dps.values()  # the gap buckets
+        (decoded,) = wire.decode_response(response)
+        assert math.isnan(decoded.series[0].values[-1])
+
+
+class TestStrictness:
+    def test_unknown_version_rejected(self):
+        with pytest.raises(WireError):
+            wire.decode_request({"version": 99, "queries": []})
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(WireError):
+            wire.decode_request({"queries": []})
+
+    def test_unknown_query_field_rejected(self):
+        with pytest.raises(WireError):
+            wire.decode_request({
+                "version": WIRE_VERSION,
+                "queries": [{"metric": "m", "start": 0, "end": 1,
+                             "downsampleX": "5m-avg"}],
+            })
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(WireError):
+            wire.decode_request(
+                {"version": WIRE_VERSION, "queries": [{"metric": "m"}]}
+            )
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(WireError):
+            wire.decode_request("{not json")
+
+    def test_malformed_query_contents_rejected(self):
+        for bad in (
+            {"metric": "", "start": 0, "end": 1},
+            {"metric": "m", "start": 5, "end": 1},
+            {"metric": "m", "start": 0, "end": 1, "aggregator": "nope"},
+            {"metric": "m", "start": 0, "end": 1, "downsample": "bogus"},
+            {"metric": "m", "start": "abc", "end": 1},
+            {"metric": "m", "start": 0, "end": [1]},
+        ):
+            with pytest.raises(WireError):
+                wire.decode_request(
+                    {"version": WIRE_VERSION, "queries": [bad]}
+                )
+
+    def test_malformed_dps_rejected(self):
+        bad = {"version": WIRE_VERSION, "results": [
+            {"series": [{"metric": "m", "tags": {}, "dps": {"abc": 1.0}}],
+             "scannedPoints": 0},
+        ]}
+        with pytest.raises(WireError):
+            wire.decode_response(bad)
+
+    def test_nested_expressions_rejected(self):
+        inner = {"expr": "a", "operands": {
+            "a": {"metric": "m", "start": 0, "end": 1}}}
+        with pytest.raises(WireError):
+            wire.decode_request({
+                "version": WIRE_VERSION,
+                "queries": [{"expr": "x + 1", "operands": {"x": inner}}],
+            })
+
+    def test_unsafe_wire_formula_rejected(self):
+        with pytest.raises(WireError):
+            wire.decode_request({
+                "version": WIRE_VERSION,
+                "queries": [{
+                    "expr": "__import__('os').system('true')",
+                    "operands": {"a": {"metric": "m", "start": 0, "end": 1}},
+                }],
+            })
+
+    def test_builders_encode_like_their_query(self):
+        b = select("m").range(0, 100).where(node="a").downsample("5m-avg")
+        assert wire.encode_query(b) == wire.encode_query(b.build())
