@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-sharded test-region test-persist test-query bench bench-sharded bench-region bench-persist bench-query lint
+.PHONY: test test-sharded test-region test-persist test-query serve-test bench bench-sharded bench-region bench-persist bench-query bench-serve lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +24,12 @@ test-persist:
 test-query:
 	$(PYTHON) -m pytest -q tests/test_tsdb_plan.py tests/test_tsdb_wire.py
 
+# The serving-layer gate: cache/refresh results byte-identical to
+# uncached run_many, live asyncio server survives malformed requests,
+# per-tenant admission control, wire error paths.
+serve-test:
+	$(PYTHON) -m pytest -q tests/test_serve.py tests/test_tsdb_wire.py
+
 bench:
 	$(PYTHON) -m pytest -q benchmarks/test_ingest_throughput.py -s
 
@@ -43,6 +49,12 @@ bench-persist:
 # gates the >=2x batched speedup and records the query section.
 bench-query:
 	$(PYTHON) -m pytest -q benchmarks/test_query_throughput.py -s
+
+# TCP end-to-end serving: cold vs cached vs incremental dashboard
+# refresh + sustained queries/sec at N concurrent clients; gates the
+# >=5x cached speedup and records the serve section.
+bench-serve:
+	$(PYTHON) -m pytest -q benchmarks/test_serve_throughput.py -s
 
 lint:
 	$(PYTHON) -m ruff check src/

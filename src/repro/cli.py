@@ -9,7 +9,10 @@ the system without writing code:
 - ``table1``      — show the external-source catalog status;
 - ``wall``        — render the Fig. 8 wall display once;
 - ``query``       — batch-execute OpenTSDB-shape queries over a simulated
-  city and print the JSON wire response;
+  city and print the JSON wire response; with ``--connect HOST:PORT``
+  the queries go to a running query server instead;
+- ``serve``       — simulate a city, then serve its store over the
+  asyncio TCP query service (newline-delimited JSON wire requests);
 - ``convert-log`` — migrate a WAL/snapshot between the text line
   protocol and binary columnar segments.
 """
@@ -151,8 +154,55 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tags(city: str, spec: str | None) -> dict:
+    tags = {"city": city}
+    for pair in (spec or "").split(","):
+        if not pair.strip():
+            continue
+        if "=" not in pair:
+            raise SystemExit(f"query: bad --tags entry {pair!r}; expected k=v")
+        k, v = pair.split("=", 1)
+        tags[k.strip()] = v.strip()
+    return tags
+
+
+def _flag_queries(args: argparse.Namespace, start: int, end: int) -> list:
+    from .tsdb import Query, QueryError
+
+    tags = _parse_tags(args.city, args.tags)
+    group_by = tuple(
+        g.strip() for g in (args.group_by or "").split(",") if g.strip()
+    )
+    try:
+        return [
+            Query(
+                metric.strip(),
+                start,
+                end,
+                tags=tags,
+                aggregator=args.agg,
+                downsample=args.downsample,
+                rate=args.rate,
+                group_by=group_by,
+            )
+            for metric in args.metrics.split(",")
+        ]
+    except QueryError as exc:
+        raise SystemExit(f"query: {exc}")
+
+
+def _parse_connect(spec: str) -> tuple[str, int]:
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise SystemExit(f"query: bad --connect {spec!r}; expected HOST:PORT")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(f"query: bad --connect port {port!r}")
+
+
 def cmd_query(args: argparse.Namespace) -> int:
-    """Batched queries over a freshly simulated city, as wire JSON.
+    """Batched queries as wire JSON, local or over the network.
 
     Two input modes, both executed through ``run_many`` as one batch:
 
@@ -161,11 +211,17 @@ def cmd_query(args: argparse.Namespace) -> int:
       simulated window;
     - ``--request FILE``: a versioned wire-format JSON request
       (``-`` = stdin) with absolute start/end, for exact replays.
+
+    With ``--connect HOST:PORT`` nothing is simulated locally: the
+    batch is shipped to a running ``repro serve`` endpoint through the
+    client SDK and the server's raw JSON reply is printed.  Flag-built
+    queries then need absolute ``--start``/``--end`` timestamps
+    (the remote store's clock, not ours).
     """
     import json
     from pathlib import Path
 
-    from .tsdb import Query, QueryError, WireError, wire
+    from .tsdb import WireError, wire
 
     # Validate the request before paying for the simulation: a bad wire
     # file should fail in milliseconds, not after N simulated hours.
@@ -178,39 +234,72 @@ def cmd_query(args: argparse.Namespace) -> int:
             raise SystemExit(f"query: bad request: {exc}")
     elif not args.metrics:
         raise SystemExit("query: give METRIC[,METRIC...] or --request FILE")
+
+    if args.connect:
+        from .serve import QueryClient
+
+        host, port = _parse_connect(args.connect)
+        if queries is None:
+            if args.start is None or args.end is None:
+                raise SystemExit(
+                    "query: --connect with flag-built queries needs absolute "
+                    "--start and --end (or use --request FILE)"
+                )
+            queries = _flag_queries(args, args.start, args.end)
+        try:
+            with QueryClient(host, port, tenant=args.tenant) as client:
+                response = client.request(queries, refresh=args.refresh)
+        except OSError as exc:
+            raise SystemExit(f"query: cannot reach {host}:{port}: {exc}")
+        print(json.dumps(response, indent=2))
+        return 0 if "error" not in response else 1
+
     eco, city = _build(args.city, args.hours, args.seed, args.shards)
     if queries is None:
         end = eco.now
-        start = end - args.hours * HOUR
-        tags = {"city": args.city}
-        for pair in (args.tags or "").split(","):
-            if not pair.strip():
-                continue
-            if "=" not in pair:
-                raise SystemExit(f"query: bad --tags entry {pair!r}; expected k=v")
-            k, v = pair.split("=", 1)
-            tags[k.strip()] = v.strip()
-        group_by = tuple(
-            g.strip() for g in (args.group_by or "").split(",") if g.strip()
-        )
-        try:
-            queries = [
-                Query(
-                    metric.strip(),
-                    start,
-                    end,
-                    tags=tags,
-                    aggregator=args.agg,
-                    downsample=args.downsample,
-                    rate=args.rate,
-                    group_by=group_by,
-                )
-                for metric in args.metrics.split(",")
-            ]
-        except QueryError as exc:
-            raise SystemExit(f"query: {exc}")
+        queries = _flag_queries(args, end - args.hours * HOUR, end)
     results = city.db.run_many(queries)
     print(json.dumps(wire.encode_response(results), indent=2))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Simulate a city, then serve its store over asyncio TCP.
+
+    The simulated window is the data set; clients query it with
+    absolute timestamps (the bound window is printed on startup).
+    Runs until interrupted.
+    """
+    import asyncio
+
+    from .serve import QueryServer, TenantPolicy
+
+    eco, city = _build(args.city, args.hours, args.seed, args.shards)
+    policy = TenantPolicy(
+        max_pending=args.max_pending,
+        backpressure=args.backpressure,
+        parallelism=args.parallelism,
+    )
+    server = QueryServer(
+        city.db,
+        host=args.host,
+        port=args.port,
+        default_policy=policy,
+        cache_capacity=args.cache_capacity,
+    )
+
+    async def _main() -> None:
+        host, port = await server.start()
+        start = eco.now - args.hours * HOUR
+        print(f"serving {args.city} on {host}:{port} "
+              f"(window {start}..{eco.now}, backpressure: "
+              f"{policy.backpressure.value})", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("\nbye")
     return 0
 
 
@@ -328,7 +417,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--request", default=None, metavar="FILE",
         help="versioned wire-format JSON request ('-' = stdin); "
              "overrides the flag-built queries")
+    p_query.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="send the batch to a running 'repro serve' endpoint instead "
+             "of simulating locally")
+    p_query.add_argument(
+        "--start", type=int, default=None, metavar="TS",
+        help="absolute window start for flag-built queries (with --connect)")
+    p_query.add_argument(
+        "--end", type=int, default=None, metavar="TS",
+        help="absolute window end for flag-built queries (with --connect)")
+    p_query.add_argument(
+        "--tenant", default=None, metavar="NAME",
+        help="admission-control lane on the server (with --connect)")
+    p_query.add_argument(
+        "--refresh", action="store_true",
+        help="route through the server's incremental refresher "
+             "(with --connect)")
     p_query.set_defaults(func=cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="simulate a city and serve its store over asyncio TCP",
+    )
+    common(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=4242,
+        help="TCP port (0 = ephemeral; default: 4242)")
+    p_serve.add_argument(
+        "--cache-capacity", type=int, default=128, metavar="N",
+        help="bounded-LRU result cache entries (default: 128)")
+    p_serve.add_argument(
+        "--max-pending", type=int, default=64, metavar="N",
+        help="per-tenant admission queue depth (default: 64)")
+    p_serve.add_argument(
+        "--backpressure", default="block",
+        choices=tuple(p.value for p in Backpressure),
+        help="full-lane policy for tenant admission queues")
+    p_serve.add_argument(
+        "--parallelism", type=int, default=2, metavar="N",
+        help="concurrent requests per tenant lane (default: 2)")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_conv = sub.add_parser(
         "convert-log",

@@ -1,0 +1,192 @@
+"""Bounded-LRU query result cache validated by write generations.
+
+The serving layer's hot path: dashboards re-issue the same panel
+queries every few seconds, and most refreshes happen between writes to
+the series they touch.  :class:`CachingStore` wraps any
+:class:`~repro.tsdb.interface.TimeSeriesStore` and intercepts the
+batched execution hook, so ``run_many`` (and therefore the wire layer's
+``handle_request``) sees cache hits per *unique* query while expression
+recomposition, dedup, and result ordering stay in the shared planner.
+
+Correctness comes from generation validators, not timers:
+
+- an entry remembers the **metric generation** (series created/removed
+  under the metric) and every matched series' **write generation** at
+  capture time;
+- any ``put``/``put_batch``/``delete_*`` touching a cached series bumps
+  its generation, so the next lookup sees the mismatch, drops the
+  entry, and re-executes — exact per-series invalidation without a
+  reverse index;
+- validators are captured *before* execution and re-checked *after*;
+  if a concurrent write lands mid-run the result is returned but never
+  cached (a stale result can never be stamped fresh).
+
+Hits return the very result object the underlying store produced, so
+cached responses are byte-identical to uncached ``run_many`` output.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from typing import Sequence
+
+from ..tsdb.interface import StoreApi
+from ..tsdb.plan import _canonical_key
+from ..tsdb.query import Query, QueryResult
+
+
+@dataclass
+class CacheStats:
+    """Cumulative cache accounting."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidated: int = 0  # entries dropped on a validator mismatch
+    evicted: int = 0  # entries dropped by LRU capacity pressure
+    skipped: int = 0  # results not cached (write raced the execution)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+#: (metric generation, ((series key, series generation), ...)) — the
+#: state of the world a cached result was computed against.
+_Validators = tuple
+
+
+class ResultCache:
+    """LRU of :class:`QueryResult` keyed by the planner's canonical
+    query key, validated against store write generations on every hit.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.stats = CacheStats()
+        self._entries: OrderedDict[tuple, tuple[QueryResult, _Validators]] = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def capture(self, store, q: Query) -> _Validators:
+        """Snapshot the validators a result for ``q`` would depend on.
+
+        Taken *before* executing the query: the matched series set and
+        each member's generation.  New series that would change the
+        match set bump the metric generation, so the pair
+        (metric generation, per-series generations) is exactly "nothing
+        this query can observe has changed".
+        """
+        matched = store._match(q.metric, q.tags)
+        return (
+            store.metric_generation(q.metric),
+            tuple((key, store.series_generation(key)) for key in matched),
+        )
+
+    def _holds(self, store, q: Query, validators: _Validators) -> bool:
+        metric_gen, series_gens = validators
+        if store.metric_generation(q.metric) != metric_gen:
+            return False
+        return all(
+            store.series_generation(key) == gen for key, gen in series_gens
+        )
+
+    def lookup(self, store, q: Query) -> QueryResult | None:
+        """A still-valid cached result for ``q``, or None.
+
+        Invalid entries (a touched series was written or deleted, or
+        the metric's series set changed) are dropped on sight.
+        """
+        key = _canonical_key(q)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        result, validators = entry
+        if not self._holds(store, q, validators):
+            del self._entries[key]
+            self.stats.invalidated += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return result
+
+    def insert(
+        self, store, q: Query, validators: _Validators, result: QueryResult
+    ) -> bool:
+        """Cache a freshly computed result, unless a write raced it.
+
+        ``validators`` must come from :meth:`capture` taken before the
+        execution; if they no longer hold the result may already be
+        stale and is *not* cached (returns False).
+        """
+        if not self._holds(store, q, validators):
+            self.stats.skipped += 1
+            return False
+        key = _canonical_key(q)
+        self._entries[key] = (result, validators)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evicted += 1
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class CachingStore(StoreApi):
+    """A store wrapper serving ``run_many`` through a :class:`ResultCache`.
+
+    Implements the planner's ``_run_unique_batch`` hook: per unique
+    query the cache answers or the miss set executes as one batch on
+    the wrapped store (keeping shared matching/scans/pushdown for the
+    misses).  Everything else — writes, introspection, maintenance,
+    generation tracking — delegates to the wrapped store, so a
+    ``CachingStore`` is a drop-in :class:`TimeSeriesStore` and writes
+    through it invalidate exactly the entries they touch.
+    """
+
+    def __init__(self, store, *, capacity: int = 128) -> None:
+        self._store = store
+        self.cache = ResultCache(capacity)
+
+    @property
+    def wrapped(self):
+        """The underlying store."""
+        return self._store
+
+    def __getattr__(self, name: str):
+        # Only reached for names not defined here/on StoreApi: writes,
+        # introspection, generations, maintenance, persistence hooks.
+        return getattr(self._store, name)
+
+    def run(self, query: Query) -> QueryResult:
+        return self.run_many([query])[0]
+
+    def _run_unique_batch(
+        self, queries: Sequence[Query], parallel: bool | None = None
+    ) -> list[QueryResult]:
+        results: list[QueryResult | None] = [None] * len(queries)
+        miss: list[int] = []
+        for i, q in enumerate(queries):
+            hit = self.cache.lookup(self._store, q)
+            if hit is not None:
+                results[i] = hit
+            else:
+                miss.append(i)
+        if miss:
+            miss_qs = [queries[i] for i in miss]
+            validators = [
+                self.cache.capture(self._store, q) for q in miss_qs
+            ]
+            out = self._store._run_unique_batch(miss_qs, parallel=parallel)
+            for i, q, v, res in zip(miss, miss_qs, validators, out):
+                results[i] = res
+                self.cache.insert(self._store, q, v, res)
+        return results  # type: ignore[return-value]

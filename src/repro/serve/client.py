@@ -1,0 +1,164 @@
+"""Synchronous client SDK for the query server.
+
+A thin, dependency-free socket client speaking the newline-delimited
+JSON protocol of :mod:`repro.serve.server`:
+
+- **connection reuse** — one TCP connection per client, lazily opened
+  and kept across calls;
+- **timeouts** — a per-call socket deadline; a timed-out call closes
+  the connection so a stuck server cannot wedge the client;
+- **retry with backoff** — transport failures (refused, reset, timed
+  out) reconnect and resend with exponential backoff; queries are
+  idempotent reads, so resending is safe.  *Server-answered* errors
+  (:class:`~repro.tsdb.wire.RemoteQueryError`) are never retried — the
+  request itself is bad;
+- **batched multi-query calls** — :meth:`run_many` ships a whole
+  dashboard as one request line, so the server plans it as one batch.
+
+Usage::
+
+    with QueryClient(host, port, tenant="dashboard") as client:
+        results = client.run_many(panel_queries, refresh=True)
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Sequence
+
+from ..tsdb import wire
+from ..tsdb.plan import ExprQuery, QueryBuilder
+from ..tsdb.query import Query
+from ..tsdb.wire import RemoteQueryError, WireError, WireResult
+
+
+class QueryClient:
+    """Reusable connection to one :class:`~repro.serve.server.QueryServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        tenant: str | None = None,
+        timeout: float = 10.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.tenant = tenant
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._next_id = 0
+
+    # -- connection lifecycle --------------------------------------------
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        sock.settimeout(self.timeout)
+        self._sock = sock
+        self._file = sock.makefile("rb")
+
+    def close(self) -> None:
+        file, self._file = self._file, None
+        sock, self._sock = self._sock, None
+        if file is not None:
+            try:
+                file.close()
+            except OSError:
+                pass
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "QueryClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- calls -----------------------------------------------------------
+    def request(
+        self,
+        queries: Sequence[Query | QueryBuilder | ExprQuery],
+        *,
+        refresh: bool = False,
+    ) -> dict:
+        """One batched call; returns the raw (JSON-decoded) response.
+
+        Retries transport failures with exponential backoff, resending
+        the same request over a fresh connection.  Raises the last
+        transport error when retries are exhausted.
+        """
+        envelope = wire.encode_request(queries)
+        self._next_id += 1
+        envelope["id"] = self._next_id
+        if self.tenant is not None:
+            envelope["tenant"] = self.tenant
+        if refresh:
+            envelope["refresh"] = True
+        line = json.dumps(envelope, allow_nan=False).encode() + b"\n"
+
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.backoff * (2 ** (attempt - 1)))
+            try:
+                self.connect()
+                assert self._sock is not None and self._file is not None
+                self._sock.sendall(line)
+                reply = self._file.readline()
+                if not reply:
+                    raise ConnectionError("server closed the connection")
+                response = json.loads(reply)
+                if (
+                    isinstance(response, dict)
+                    and response.get("id") not in (None, envelope["id"])
+                ):
+                    raise WireError(
+                        f"response id {response.get('id')!r} does not match "
+                        f"request id {envelope['id']!r}"
+                    )
+                return response
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                # Transport fault: this connection is suspect — drop it
+                # and (maybe) retry on a fresh one.
+                self.close()
+                last_error = exc
+            except json.JSONDecodeError as exc:
+                self.close()
+                raise WireError(f"response is not valid JSON: {exc}") from None
+        assert last_error is not None
+        raise last_error
+
+    def run_many(
+        self,
+        queries: Sequence[Query | QueryBuilder | ExprQuery],
+        *,
+        refresh: bool = False,
+    ) -> list[WireResult]:
+        """Execute a batch remotely; results align with the input order.
+
+        Raises :class:`RemoteQueryError` when the server answers with a
+        wire error response (bad query, overload drop, server fault).
+        """
+        return wire.decode_response(self.request(queries, refresh=refresh))
+
+    def run(self, query: Query | QueryBuilder | ExprQuery) -> WireResult:
+        """Execute a single query remotely."""
+        return self.run_many([query])[0]
+
+
+__all__ = ["QueryClient", "RemoteQueryError"]

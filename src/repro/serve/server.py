@@ -1,0 +1,346 @@
+"""Asyncio TCP query server: newline-delimited JSON over the wire codec.
+
+One live store, many dashboard clients.  Each connection sends one JSON
+request per line — the :mod:`repro.tsdb.wire` request format plus three
+optional envelope fields stripped before decoding:
+
+- ``"tenant"``: admission-control lane (defaults to ``"public"``);
+- ``"id"``: opaque correlation value echoed on the reply, so clients
+  may pipeline requests;
+- ``"refresh"``: route the batch through the server's
+  :class:`~repro.serve.refresh.IncrementalRefresher` (steady-state
+  dashboard polling) instead of the result cache.
+
+Replies are one JSON line each: a wire response, a wire *error*
+response for anything malformed (the connection always stays usable —
+that is the point of the ``handle_request`` bugfix underneath), or an
+``InternalError`` response if the store itself faults.
+
+Admission control reuses the region layer's
+:class:`~repro.region.queue.Backpressure` vocabulary per tenant lane,
+mapped onto a request queue:
+
+- ``block``       — a full lane stops reading from the submitting
+  connection until a slot frees (TCP backpressure reaches the client);
+- ``drop-oldest`` — the oldest *queued* request is answered immediately
+  with an ``Overloaded`` error and the new one takes its place;
+- ``spill``       — the lane queue is unbounded; requests beyond
+  capacity are counted as spilled but all execute, in order.
+
+Query execution is offloaded to a thread pool (numpy scans release the
+GIL), so the event loop stays responsive while lanes execute
+concurrently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+from dataclasses import dataclass
+
+from ..region.queue import Backpressure
+from ..tsdb import wire
+from .cache import CachingStore
+from .refresh import IncrementalRefresher
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's admission contract with the query server.
+
+    ``max_pending`` bounds the lane's queued-but-not-yet-running
+    requests; ``backpressure`` picks the overflow behaviour (the same
+    vocabulary as the region fan-in queues); ``parallelism`` is how
+    many of the tenant's requests may execute concurrently.
+    """
+
+    max_pending: int = 64
+    backpressure: Backpressure | str = Backpressure.BLOCK
+    parallelism: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        if self.parallelism <= 0:
+            raise ValueError("parallelism must be positive")
+        object.__setattr__(
+            self, "backpressure", Backpressure.coerce(self.backpressure)
+        )
+
+
+class _Job:
+    """One admitted request: payload in, one reply line out."""
+
+    __slots__ = (
+        "payload", "refresh", "request_id", "tenant", "writer", "write_lock",
+    )
+
+    def __init__(self, payload, refresh, request_id, tenant, writer, write_lock):
+        self.payload = payload
+        self.refresh = refresh
+        self.request_id = request_id
+        self.tenant = tenant
+        self.writer = writer
+        self.write_lock = write_lock
+
+
+class _Lane:
+    """Per-tenant request queue with explicit backpressure."""
+
+    def __init__(self, name: str, policy: TenantPolicy) -> None:
+        self.name = name
+        self.policy = policy
+        self.queue: deque[_Job] = deque()
+        self.workers: list[asyncio.Task] = []
+        self.has_work = asyncio.Event()
+        self.not_full = asyncio.Event()
+        self.not_full.set()
+        self.admitted = 0
+        self.dropped = 0
+        self.spilled = 0
+
+    def depth(self) -> int:
+        return len(self.queue)
+
+    def stats(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "dropped": self.dropped,
+            "spilled": self.spilled,
+            "depth": self.depth(),
+            "policy": self.policy.backpressure.value,
+        }
+
+
+class QueryServer:
+    """The serving layer: a TSDB behind an asyncio TCP endpoint.
+
+    Wraps the store in a :class:`CachingStore` (generation-validated
+    result cache) and keeps one :class:`IncrementalRefresher` for
+    ``refresh``-flagged requests.  ``port=0`` binds an ephemeral port —
+    read :attr:`address` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        store,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        default_policy: TenantPolicy | None = None,
+        tenant_policies: dict[str, TenantPolicy] | None = None,
+        cache_capacity: int = 128,
+    ) -> None:
+        self.caching = CachingStore(store, capacity=cache_capacity)
+        self.refresher = IncrementalRefresher(self.caching)
+        self._host = host
+        self._port = port
+        self._default_policy = default_policy or TenantPolicy()
+        self._tenant_policies = dict(tenant_policies or {})
+        self._lanes: dict[str, _Lane] = {}
+        self._server: asyncio.Server | None = None
+        self.requests = 0
+        self.errors = 0
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        return self.address
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for lane in self._lanes.values():
+            for task in lane.workers:
+                task.cancel()
+            for task in lane.workers:
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+            lane.workers.clear()
+
+    def stats(self) -> dict:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "cache": self.caching.cache.stats.as_dict(),
+            "refresh": self.refresher.stats.as_dict(),
+            "tenants": {
+                name: lane.stats() for name, lane in sorted(self._lanes.items())
+            },
+        }
+
+    # -- admission -------------------------------------------------------
+    def _lane(self, tenant: str) -> _Lane:
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            policy = self._tenant_policies.get(tenant, self._default_policy)
+            lane = self._lanes[tenant] = _Lane(tenant, policy)
+            for _ in range(policy.parallelism):
+                lane.workers.append(
+                    asyncio.get_running_loop().create_task(self._pump(lane))
+                )
+        return lane
+
+    async def _admit(self, lane: _Lane, job: _Job) -> None:
+        policy = lane.policy
+        if lane.depth() >= policy.max_pending:
+            bp = policy.backpressure
+            if bp is Backpressure.BLOCK:
+                # Stop reading this connection until the lane drains —
+                # the submitting client feels it as TCP backpressure.
+                while lane.depth() >= policy.max_pending:
+                    lane.not_full.clear()
+                    await lane.not_full.wait()
+            elif bp is Backpressure.DROP_OLDEST:
+                oldest = lane.queue.popleft()
+                lane.dropped += 1
+                await self._reply(
+                    oldest,
+                    _error_dict(
+                        "Overloaded",
+                        f"dropped by drop-oldest admission "
+                        f"(tenant {lane.name!r} backlog "
+                        f"{policy.max_pending})",
+                    ),
+                )
+            else:  # SPILL: unbounded overflow, FIFO preserved
+                lane.spilled += 1
+        lane.queue.append(job)
+        lane.admitted += 1
+        lane.has_work.set()
+
+    async def _pump(self, lane: _Lane) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            while not lane.queue:
+                lane.has_work.clear()
+                await lane.has_work.wait()
+            job = lane.queue.popleft()
+            if lane.depth() < lane.policy.max_pending:
+                lane.not_full.set()
+            response = await loop.run_in_executor(None, self._execute, job)
+            await self._reply(job, response)
+
+    # -- execution -------------------------------------------------------
+    def _execute(self, job: _Job) -> dict:
+        """Runs on the executor thread: decode → run → encode, total."""
+        self.requests += 1
+        try:
+            if job.refresh:
+                queries = wire.decode_request(job.payload)
+                results = [self.refresher.run(q) for q in queries]
+                return wire.encode_response(results)
+            return wire.handle_request(self.caching, job.payload)
+        except wire.WireError as exc:
+            return wire.encode_error(exc)
+        except Exception as exc:  # store fault: answer, don't die
+            return _error_dict("InternalError", f"{type(exc).__name__}: {exc}")
+
+    async def _reply(self, job: _Job, response: dict) -> None:
+        if "error" in response:
+            self.errors += 1
+        if job.request_id is not None:
+            response = {**response, "id": job.request_id}
+        line = json.dumps(response, allow_nan=False).encode() + b"\n"
+        async with job.write_lock:
+            if job.writer.is_closing():
+                return
+            job.writer.write(line)
+            try:
+                await job.writer.drain()
+            except ConnectionError:
+                pass
+
+    # -- connections -----------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                job = self._parse_line(line, writer, write_lock)
+                if job is None:
+                    continue  # error already replied; connection lives on
+                await self._admit(self._lane(job.tenant), job)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    def _parse_line(self, line: bytes, writer, write_lock) -> "_Job | None":
+        """Envelope parsing; replies with a wire error on junk input."""
+        bad: str | None = None
+        payload = None
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            bad = f"request is not valid JSON: {exc}"
+        if bad is None and not isinstance(payload, dict):
+            bad = "request must be a JSON object"
+        if bad is None:
+            payload = dict(payload)
+            tenant = payload.pop("tenant", "public")
+            request_id = payload.pop("id", None)
+            refresh = bool(payload.pop("refresh", False))
+            if not isinstance(tenant, str) or not tenant:
+                bad = "'tenant' must be a non-empty string"
+        if bad is not None:
+            self.requests += 1
+            stub = _Job(None, False, None, "public", writer, write_lock)
+            asyncio.get_running_loop().create_task(
+                self._reply(stub, wire.encode_error(wire.WireError(bad)))
+            )
+            return None
+        return _Job(payload, refresh, request_id, tenant, writer, write_lock)
+
+
+def _error_dict(error_type: str, message: str) -> dict:
+    return {
+        "version": wire.WIRE_VERSION,
+        "error": {"type": error_type, "message": message},
+    }
+
+
+async def serve(
+    store,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **kwargs,
+) -> QueryServer:
+    """Start a :class:`QueryServer` and return it (tests/embedding)."""
+    server = QueryServer(store, host=host, port=port, **kwargs)
+    await server.start()
+    return server

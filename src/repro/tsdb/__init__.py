@@ -72,7 +72,15 @@ from .plan import (
 )
 from .query import Query, QueryError, QueryResult, ResultSeries, compute_rate
 from .retention import PerShardRetention, RetentionPolicy, RolledUp
-from .wire import WIRE_VERSION, WireError, WireResult, WireSeries, handle_request
+from .wire import (
+    WIRE_VERSION,
+    RemoteQueryError,
+    WireError,
+    WireResult,
+    WireSeries,
+    encode_error,
+    handle_request,
+)
 from .series import SeriesSlice, SeriesStore, merge_slices
 from .sharded import ShardedTSDB, scatter_batch, shard_for_key
 
@@ -104,6 +112,7 @@ __all__ = [
     "PointBatch",
     "Query",
     "QueryBuilder",
+    "RemoteQueryError",
     "QueryError",
     "QueryResult",
     "ResultSeries",
@@ -126,6 +135,7 @@ __all__ = [
     "convert_log",
     "detect_format",
     "dumps",
+    "encode_error",
     "execute_query",
     "expr",
     "handle_request",

@@ -186,6 +186,16 @@ def _col_count(matrix: np.ndarray) -> np.ndarray:
     return (~np.isnan(matrix)).sum(axis=0).astype(np.float64)
 
 
+#: Columnar aggregators for which reducing a *single* series is not the
+#: identity: ``count`` of one series is 1-where-finite and ``dev`` is
+#: 0-where-finite, never the raw values.  ``aggregate_across``'s
+#: single-slice shortcut must fall through to the full reduction for
+#: these (every other registered aggregator — min/max/avg/sum/first/
+#: last/median/percentiles — returns the lone value at each instant,
+#: and NaN instants stay NaN, so skipping the stack is exact).
+NON_IDENTITY_COLUMNAR = frozenset({_col_count, _col_dev})
+
+
 def _col_first(matrix: np.ndarray) -> np.ndarray:
     finite = ~np.isnan(matrix)
     idx = np.argmax(finite, axis=0)

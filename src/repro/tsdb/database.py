@@ -42,6 +42,9 @@ class TSDB(StoreApi):
         self._by_metric: dict[str, set[SeriesKey]] = defaultdict(set)
         # (tagk, tagv) -> set of series keys
         self._by_tag: dict[tuple[str, str], set[SeriesKey]] = defaultdict(set)
+        # metric -> count of series created/removed under it; a cached
+        # match set for the metric is valid only while this holds still.
+        self._metric_gen: dict[str, int] = defaultdict(int)
         self._puts = 0
 
     # ------------------------------------------------------------------
@@ -54,6 +57,7 @@ class TSDB(StoreApi):
             store = SeriesStore()
             self._stores[key] = store
             self._by_metric[key.metric].add(key)
+            self._metric_gen[key.metric] += 1
             for pair in key.tags:
                 self._by_tag[pair].add(key)
         return store
@@ -154,6 +158,45 @@ class TSDB(StoreApi):
             if latest is not None:
                 out[key] = latest
         return out
+
+    # ------------------------------------------------------------------
+    # Write-generation tracking (serving-layer cache/refresh validity)
+    # ------------------------------------------------------------------
+    def series_generation(self, key: SeriesKey) -> int:
+        """Mutation counter of one series; 0 for unknown keys.
+
+        Monotonic per live series: any write or retention delete bumps
+        it, so a cached query result is exactly as fresh as the
+        generations of the series it touched.  (A removed-and-recreated
+        series restarts at small values — :meth:`metric_generation`
+        changes on both events, which is what cache validators check
+        alongside this.)
+        """
+        store = self._stores.get(key)
+        return 0 if store is None else store.generation
+
+    def series_reshape_generation(self, key: SeriesKey) -> int:
+        """Counter of non-append mutations of one series; 0 if unknown.
+
+        While it holds still, the series only grew past its previous
+        maximum timestamp — the invariant that makes incremental
+        dashboard refresh (splice new buckets onto cached ones) exact.
+        """
+        store = self._stores.get(key)
+        return 0 if store is None else store.reshape_generation
+
+    def metric_generation(self, metric: str) -> int:
+        """Counter of series created/removed under ``metric``.
+
+        A cached match set (and therefore grouping) for any filter on
+        this metric is valid only while this value holds still.
+        """
+        return self._metric_gen.get(metric, 0)
+
+    def series_latest(self, key: SeriesKey) -> tuple[int, float] | None:
+        """Latest ``(timestamp, value)`` of one series, or None if unknown."""
+        store = self._stores.get(key)
+        return None if store is None else store.latest()
 
     # ------------------------------------------------------------------
     # Queries
@@ -264,6 +307,7 @@ class TSDB(StoreApi):
         index entries behind forever.
         """
         del self._stores[key]
+        self._metric_gen[key.metric] += 1
         metric_bucket = self._by_metric[key.metric]
         metric_bucket.discard(key)
         if not metric_bucket:

@@ -77,6 +77,15 @@ class TimeSeriesStore(Protocol):
         self, metric: str, tags: Mapping[str, str] | None = None
     ) -> dict[SeriesKey, tuple[int, float]]: ...
 
+    # -- write-generation tracking (serving-layer cache validity) --------
+    def series_generation(self, key: SeriesKey) -> int: ...
+
+    def series_reshape_generation(self, key: SeriesKey) -> int: ...
+
+    def metric_generation(self, metric: str) -> int: ...
+
+    def series_latest(self, key: SeriesKey) -> tuple[int, float] | None: ...
+
     # -- reads -----------------------------------------------------------
     def run(self, query: Query) -> QueryResult: ...
 

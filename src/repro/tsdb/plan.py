@@ -452,7 +452,11 @@ def aggregate_across(
     slices = [s for s in slices if len(s) > 0]
     if not slices:
         return _empty_slice()
-    if len(slices) == 1:
+    if len(slices) == 1 and agg not in aggregators.NON_IDENTITY_COLUMNAR:
+        # Sound only where aggregating one series is the identity —
+        # count (→ 1-where-finite) and dev (→ 0) take the full path, or
+        # a group whose siblings fall away (rate on a 1-point series,
+        # empty shard partials) would return raw values instead.
         return slices[0]
     all_ts, stacked, moments = _stacked_for(slices, stack_cache)
     if moments is not None and agg in aggregators.MOMENT_AWARE_COLUMNAR:

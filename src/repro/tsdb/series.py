@@ -30,9 +30,26 @@ class SeriesSlice:
 
 
 class SeriesStore:
-    """Append-optimized storage for one series."""
+    """Append-optimized storage for one series.
 
-    __slots__ = ("_ts", "_vals", "_n", "_tail_ts", "_tail_vals", "_dirty")
+    Two monotonic counters make the store's mutation history observable
+    without scanning it (the serving layer's cache/refresh validity
+    checks):
+
+    - :attr:`generation` bumps on *every* mutation (append, bulk
+      extend, retention delete) — "has anything changed since I cached
+      this series' query results?";
+    - :attr:`reshape_generation` bumps only when a mutation is **not** a
+      pure append past the current maximum timestamp (out-of-order or
+      duplicate writes, retention deletes) — "may data I already saw
+      have changed?".  While it holds still, history is append-only and
+      previously computed prefixes of this series are final.
+    """
+
+    __slots__ = (
+        "_ts", "_vals", "_n", "_tail_ts", "_tail_vals", "_dirty",
+        "generation", "reshape_generation",
+    )
 
     _INITIAL = 256
 
@@ -43,6 +60,8 @@ class SeriesStore:
         self._tail_ts: list[int] = []
         self._tail_vals: list[float] = []
         self._dirty = False
+        self.generation = 0
+        self.reshape_generation = 0
 
     def __len__(self) -> int:
         self._compact()
@@ -56,12 +75,16 @@ class SeriesStore:
     def append(self, timestamp: int, value: float) -> None:
         """Add a point; out-of-order and duplicate timestamps are allowed."""
         timestamp = int(timestamp)
+        self.generation += 1
         if self._n > 0 and not self._tail_ts and timestamp > int(self._ts[self._n - 1]):
             self._append_sorted(timestamp, float(value))
             return
         if self._n == 0 and not self._tail_ts:
             self._append_sorted(timestamp, float(value))
             return
+        # Out-of-order or duplicate timestamp: already-seen data may be
+        # overwritten once the tail merges in.
+        self.reshape_generation += 1
         self._tail_ts.append(timestamp)
         self._tail_vals.append(float(value))
         self._dirty = True
@@ -99,6 +122,7 @@ class SeriesStore:
         n = int(ts.shape[0])
         if n == 0:
             return 0
+        self.generation += 1
         in_order = n == 1 or bool(np.all(ts[1:] > ts[:-1]))
         if (
             in_order
@@ -113,6 +137,10 @@ class SeriesStore:
             self._vals[self._n : need] = vals
             self._n = need
             return n
+        # The merge may rewrite already-seen history (conservatively so:
+        # an internally unordered batch that still lands entirely past
+        # the sorted region also takes this path).
+        self.reshape_generation += 1
         # Slow path: one stable merge of sorted region + tail + batch.
         merged_ts, merged_vals = _merge_last_wins(
             [self._ts[: self._n], np.asarray(self._tail_ts, dtype=np.int64), ts],
@@ -171,6 +199,8 @@ class SeriesStore:
         lo = int(np.searchsorted(ts, cutoff, side="left"))
         if lo == 0:
             return 0
+        self.generation += 1
+        self.reshape_generation += 1
         self._ts = self._ts[lo : self._n].copy()
         self._vals = self._vals[lo : self._n].copy()
         self._n -= lo

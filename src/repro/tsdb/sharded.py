@@ -82,6 +82,44 @@ class ShardedTSDB(StoreApi):
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
         self._shards: tuple[TSDB, ...] = tuple(TSDB() for _ in range(num_shards))
+        # One fan-out pool per store, created lazily on first pooled
+        # operation and reused for every query/snapshot/restore fan-out.
+        # A per-call pool costs thread spawn + teardown on every
+        # request — ruinous at server request rates.
+        self._pool: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    # Fan-out pool lifecycle
+    # ------------------------------------------------------------------
+    def fanout_pool(self) -> ThreadPoolExecutor:
+        """The store's shared fan-out pool (created on first use).
+
+        Sized to ``min(num_shards, cpu_count)``; all pooled paths
+        (batched queries, snapshot, restore) share it.  Safe to call
+        after :meth:`close` — a fresh pool is created.
+        """
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=_fanout_workers(len(self._shards)),
+                thread_name_prefix="tsdb-fanout",
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the fan-out pool (idempotent).
+
+        The store itself stays usable — serial paths keep working and
+        the next pooled operation lazily recreates the pool.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedTSDB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Topology
@@ -188,6 +226,30 @@ class ShardedTSDB(StoreApi):
         for sh in self._shards:
             out.update(sh.last(metric, tags))  # key sets are disjoint
         return out
+
+    # ------------------------------------------------------------------
+    # Write-generation tracking (routes like any other series access)
+    # ------------------------------------------------------------------
+    def series_generation(self, key: SeriesKey) -> int:
+        """Mutation counter of one series (owning shard's counter)."""
+        return self._shards[self.shard_of(key)].series_generation(key)
+
+    def series_reshape_generation(self, key: SeriesKey) -> int:
+        """Non-append mutation counter of one series (owning shard's)."""
+        return self._shards[self.shard_of(key)].series_reshape_generation(key)
+
+    def metric_generation(self, metric: str) -> int:
+        """Create/remove counter for a metric, summed over shards.
+
+        Each shard's counter is monotonic, so the sum is monotonic and
+        changes exactly when any shard's series set for the metric
+        does — the same validity signal the single store provides.
+        """
+        return sum(sh.metric_generation(metric) for sh in self._shards)
+
+    def series_latest(self, key: SeriesKey) -> tuple[int, float] | None:
+        """Latest ``(timestamp, value)`` of one series, or None."""
+        return self._shards[self.shard_of(key)].series_latest(key)
 
     # ------------------------------------------------------------------
     # Queries (fan out, then merge through the shared plan)
@@ -336,11 +398,11 @@ class ShardedTSDB(StoreApi):
             return scanned, finished, partials, prepared
 
         if use_pool and n > 1:
-            with ThreadPoolExecutor(max_workers=_fanout_workers(n)) as pool:
-                shard_out = list(pool.map(shard_task, range(n)))
-                results = self._merge_phase(
-                    queries, plans, groups_per_query, kinds, shard_out, pool
-                )
+            pool = self.fanout_pool()
+            shard_out = list(pool.map(shard_task, range(n)))
+            results = self._merge_phase(
+                queries, plans, groups_per_query, kinds, shard_out, pool
+            )
         else:
             shard_out = [shard_task(si) for si in range(n)]
             results = self._merge_phase(
@@ -483,8 +545,7 @@ class ShardedTSDB(StoreApi):
             if n == 1:
                 total = snap_one(0)
             else:
-                with ThreadPoolExecutor(max_workers=_fanout_workers(n)) as pool:
-                    total = sum(pool.map(snap_one, range(n)))
+                total = sum(self.fanout_pool().map(snap_one, range(n)))
         except BaseException:
             for i in range(n):
                 (directory / f"shard-{i}-of-{n}.{ext}.tmp").unlink(missing_ok=True)
@@ -549,9 +610,8 @@ class ShardedTSDB(StoreApi):
         if n == 1:
             restore_one(0)
         else:
-            with ThreadPoolExecutor(max_workers=_fanout_workers(n)) as pool:
-                for _ in pool.map(restore_one, range(n)):
-                    pass
+            for _ in db.fanout_pool().map(restore_one, range(n)):
+                pass
         return db
 
     # ------------------------------------------------------------------

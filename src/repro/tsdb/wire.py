@@ -28,9 +28,18 @@ result series as ``dps`` maps (timestamp → value, NaN encoded as
     ]}
 
 Floats round-trip exactly (Python's JSON float repr is shortest
-round-trip); unknown versions and unknown fields are rejected loudly so
-format drift cannot pass silently.  :func:`handle_request` is the
-one-call server side: decode → ``run_many`` → encode.
+round-trip); NaN encodes as ``null`` and ``±inf`` as the strings
+``"Infinity"`` / ``"-Infinity"`` so the emitted text is always valid
+RFC 8259 JSON (``response_to_json`` enforces this with
+``allow_nan=False``).  Unknown versions and unknown fields are rejected
+loudly so format drift cannot pass silently.
+
+:func:`handle_request` is the one-call server side: decode →
+``run_many`` → encode.  Failures come back as a versioned *error
+response* — ``{"version": 1, "error": {"type": ..., "message": ...}}``
+— never as an exception, so one malformed query cannot kill a server
+connection; :func:`decode_response` surfaces such a payload to clients
+as :class:`RemoteQueryError`.
 """
 
 from __future__ import annotations
@@ -51,6 +60,21 @@ WIRE_VERSION = 1
 
 class WireError(ValueError):
     """Malformed wire request/response."""
+
+
+class RemoteQueryError(RuntimeError):
+    """The server answered with an error response instead of results.
+
+    Carries the server-side exception class name (``error_type``) and
+    message, so clients can distinguish a bad request (``WireError``,
+    ``QueryError`` — fix the query) from a server fault
+    (``InternalError`` — retry elsewhere).
+    """
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.message = message
 
 
 _QUERY_FIELDS = {
@@ -106,6 +130,28 @@ def request_to_json(
     return json.dumps(encode_request(queries), **dumps_kwargs)
 
 
+def _decode_timestamp(obj: Mapping, field: str) -> int:
+    """A ``start``/``end`` value as an exact integer timestamp.
+
+    ``int()`` alone would silently reshape the query range: ``true``
+    becomes 1 (bool is an int subclass) and ``3.9`` truncates to 3.
+    Accept integers and integral floats (clients that serialize every
+    JSON number as a float still round-trip exactly); reject everything
+    else loudly.
+    """
+    v = obj[field]
+    if isinstance(v, bool):
+        raise WireError(f"{field!r} must be an integer timestamp, got {v!r}")
+    if isinstance(v, int):
+        return v
+    if isinstance(v, float) and v.is_integer():
+        return int(v)
+    raise WireError(
+        f"{field!r} must be an integer timestamp, got {v!r} "
+        f"({type(v).__name__})"
+    )
+
+
 def decode_query(obj: Mapping) -> Query | ExprQuery:
     """One wire dict back into a planner query (strict field checking)."""
     if not isinstance(obj, Mapping):
@@ -142,8 +188,8 @@ def decode_query(obj: Mapping) -> Query | ExprQuery:
     try:
         return Query(
             metric=obj["metric"],
-            start=int(obj["start"]),
-            end=int(obj["end"]),
+            start=_decode_timestamp(obj, "start"),
+            end=_decode_timestamp(obj, "end"),
             tags={str(k): str(v) for k, v in tags.items()},
             aggregator=str(obj.get("aggregator", "avg")),
             downsample=obj.get("downsample"),
@@ -185,8 +231,33 @@ def decode_request(request: str | bytes | Mapping) -> list[Query | ExprQuery]:
 # ---------------------------------------------------------------------------
 
 
-def _encode_value(v: float) -> float | None:
-    return None if math.isnan(v) else float(v)
+def _encode_value(v: float) -> float | str | None:
+    """NaN → null, ±inf → "Infinity"/"-Infinity", else the float.
+
+    ``json.dumps`` would happily emit bare ``Infinity`` tokens — valid
+    Python, invalid JSON per RFC 8259 — so infinities go over the wire
+    as strings and :func:`decode_response` maps them back exactly.
+    """
+    if math.isnan(v):
+        return None
+    if math.isinf(v):
+        return "Infinity" if v > 0 else "-Infinity"
+    return float(v)
+
+
+def _decode_value(v) -> float:
+    """Inverse of :func:`_encode_value` (strict about string spellings)."""
+    if v is None:
+        return math.nan
+    if isinstance(v, str):
+        if v == "Infinity":
+            return math.inf
+        if v == "-Infinity":
+            return -math.inf
+        raise WireError(f"unexpected string value {v!r} in dps")
+    if isinstance(v, bool):
+        raise WireError("unexpected boolean value in dps")
+    return float(v)
 
 
 def _encode_series(s) -> dict:
@@ -215,10 +286,32 @@ def encode_response(
     return {"version": WIRE_VERSION, "results": entries}
 
 
+def encode_error(exc: BaseException) -> dict:
+    """An exception as a versioned wire *error response*.
+
+    The server-side dual of :func:`encode_response`: a request that
+    cannot be served still gets a well-formed, versioned reply, so the
+    connection it arrived on stays usable.  ``type`` is the exception
+    class name (``WireError``, ``QueryError``, ...).
+    """
+    return {
+        "version": WIRE_VERSION,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+
+
 def response_to_json(
     results: Sequence[QueryResult | ExprResult], **dumps_kwargs
 ) -> str:
+    # allow_nan=False makes leaking a non-finite float a loud codec bug
+    # here instead of unparseable output at some client.
+    dumps_kwargs.setdefault("allow_nan", False)
     return json.dumps(encode_response(results), **dumps_kwargs)
+
+
+def error_to_json(exc: BaseException, **dumps_kwargs) -> str:
+    dumps_kwargs.setdefault("allow_nan", False)
+    return json.dumps(encode_error(exc), **dumps_kwargs)
 
 
 @dataclass(frozen=True)
@@ -262,6 +355,13 @@ def decode_response(response: str | bytes | Mapping) -> list[WireResult]:
         raise WireError(
             f"unsupported wire version {response.get('version')!r}"
         )
+    error = response.get("error")
+    if error is not None:
+        if not isinstance(error, Mapping):
+            raise WireError("'error' must be an object")
+        raise RemoteQueryError(
+            str(error.get("type", "Error")), str(error.get("message", ""))
+        )
     out: list[WireResult] = []
     for entry in response.get("results", ()):
         series = []
@@ -270,9 +370,11 @@ def decode_response(response: str | bytes | Mapping) -> list[WireResult]:
             try:
                 ts = np.array([int(k) for k in dps], dtype=np.int64)
                 vals = np.array(
-                    [math.nan if v is None else float(v) for v in dps.values()],
+                    [_decode_value(v) for v in dps.values()],
                     dtype=np.float64,
                 )
+            except WireError:
+                raise
             except (TypeError, ValueError) as exc:
                 raise WireError(f"malformed dps entry: {exc}") from None
             order = np.argsort(ts, kind="stable")
@@ -305,6 +407,19 @@ def handle_request(store, request: str | bytes | Mapping) -> dict:
     The whole request plans together through ``store.run_many`` —
     shared matching, shared scans, pushdown — so a 12-panel dashboard
     request costs one planning pass, not twelve.
+
+    Never raises for a bad *request*: malformed JSON, version
+    mismatches, and invalid queries come back as
+    ``{"version": 1, "error": ...}`` (see :func:`encode_error`), so a
+    server loop can always answer on the same connection.  Store-side
+    faults (bugs) still propagate — the serving layer decides whether
+    to translate those into ``InternalError`` replies.
     """
-    queries = decode_request(request)
-    return encode_response(store.run_many(queries))
+    try:
+        queries = decode_request(request)
+    except WireError as exc:
+        return encode_error(exc)
+    try:
+        return encode_response(store.run_many(queries))
+    except (WireError, QueryError) as exc:
+        return encode_error(exc)

@@ -1,0 +1,413 @@
+"""Serving-layer tests: cache validity, incremental refresh, live server.
+
+Three correctness contracts, in increasing integration order:
+
+- :class:`~repro.serve.cache.CachingStore` answers are **byte-identical**
+  to uncached ``run_many`` and invalidation is exact: a write to a
+  matched series (on any shard) drops precisely the entries it can
+  affect, a raced write is never stamped fresh;
+- :class:`~repro.serve.refresh.IncrementalRefresher` output equals a
+  full re-scan under arbitrary interleavings of appends and window
+  slides (hypothesis), while actually taking the incremental path in
+  steady state;
+- the asyncio :class:`~repro.serve.server.QueryServer` serves N
+  concurrent clients the same bytes the store produces, survives
+  malformed requests without dropping the connection, and applies
+  per-tenant admission control.
+"""
+
+import asyncio
+import contextlib
+import json
+import socket
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import (
+    CachingStore,
+    IncrementalRefresher,
+    QueryClient,
+    QueryServer,
+    TenantPolicy,
+)
+from repro.serve.cache import ResultCache
+from repro.tsdb import Query, ShardedTSDB, TSDB, wire
+
+
+def _seeded(store, n=12, nodes="ab"):
+    for i in range(n):
+        for node in nodes:
+            store.put("air.co2.ppm", i * 300, 400.0 + i + ord(node),
+                      {"node": node, "city": "trondheim"})
+    return store
+
+
+def _same_bytes(a, b):
+    """Results are interchangeable iff their wire encodings are equal."""
+    return wire.response_to_json([a]) == wire.response_to_json([b])
+
+
+def _same_series(a, b):
+    """Series-content equality through the wire encoding.
+
+    ``scannedPoints`` is excluded: an incremental refresh honestly
+    reports only the points its delta scanned — the *series* are what
+    is guaranteed byte-identical.
+    """
+    return (wire.encode_response([a])["results"][0]["series"]
+            == wire.encode_response([b])["results"][0]["series"])
+
+
+@pytest.fixture(params=["single", "sharded"])
+def store(request):
+    return _seeded(TSDB() if request.param == "single" else ShardedTSDB(4))
+
+
+class TestCachingStore:
+    def test_hit_returns_identical_result(self, store):
+        caching = CachingStore(store)
+        q = Query("air.co2.ppm", 0, 4000, downsample="10m-avg")
+        first = caching.run_many([q])[0]
+        second = caching.run_many([q])[0]
+        assert second is first  # the very same object: byte-identical
+        assert caching.cache.stats.hits == 1
+        assert _same_bytes(first, store.run_many([q])[0])
+
+    def test_write_to_matched_series_invalidates(self, store):
+        caching = CachingStore(store)
+        q = Query("air.co2.ppm", 0, 10_000, tags={"node": "a"})
+        stale = caching.run_many([q])[0]
+        store.put("air.co2.ppm", 9000, 999.0,
+                  {"node": "a", "city": "trondheim"})
+        fresh = caching.run_many([q])[0]
+        assert fresh is not stale
+        assert caching.cache.stats.invalidated == 1
+        assert 999.0 in list(fresh.series[0].values)
+        assert _same_bytes(fresh, store.run_many([q])[0])
+
+    def test_write_to_unmatched_series_keeps_entry(self, store):
+        caching = CachingStore(store)
+        qa = Query("air.co2.ppm", 0, 10_000, tags={"node": "a"})
+        qb = Query("air.co2.ppm", 0, 10_000, tags={"node": "b"})
+        a1, _ = caching.run_many([qa, qb])
+        store.put("air.co2.ppm", 9000, 999.0,
+                  {"node": "b", "city": "trondheim"})
+        a2, b2 = caching.run_many([qa, qb])
+        assert a2 is a1  # node=a untouched: still served from cache
+        assert 999.0 in list(b2.series[0].values)
+
+    def test_new_series_under_metric_invalidates_match(self, store):
+        caching = CachingStore(store)
+        q = Query("air.co2.ppm", 0, 10_000, group_by=("node",))
+        first = caching.run_many([q])[0]
+        assert len(first.series) == 2
+        store.put("air.co2.ppm", 600, 1.0, {"node": "c", "city": "vejle"})
+        second = caching.run_many([q])[0]
+        assert len(second.series) == 3
+        assert _same_bytes(second, store.run_many([q])[0])
+
+    def test_interleaved_writes_stay_byte_identical(self, store):
+        """The headline contract, under a write/read interleaving."""
+        mirror = _seeded(TSDB())  # uncached reference
+        caching = CachingStore(store)
+        qs = [
+            Query("air.co2.ppm", 0, 40_000, downsample="10m-avg"),
+            Query("air.co2.ppm", 0, 40_000, aggregator="count",
+                  group_by=("node",)),
+            Query("air.co2.ppm", 0, 40_000, tags={"node": "b"}),
+        ]
+        for round_no in range(6):
+            got = caching.run_many(qs)
+            want = mirror.run_many(qs)
+            assert wire.response_to_json(got) == wire.response_to_json(want)
+            ts = 4000 + round_no * 300
+            node = "ab"[round_no % 2]
+            for s in (store, mirror):
+                s.put("air.co2.ppm", ts, float(round_no),
+                      {"node": node, "city": "trondheim"})
+        stats = caching.cache.stats
+        assert stats.hits > 0 and stats.invalidated > 0
+
+    def test_raced_write_is_never_cached(self, store):
+        cache = ResultCache()
+        q = Query("air.co2.ppm", 0, 10_000)
+        validators = cache.capture(store, q)
+        result = store.run_many([q])[0]
+        store.put("air.co2.ppm", 9000, 1.0,
+                  {"node": "a", "city": "trondheim"})  # the "race"
+        assert cache.insert(store, q, validators, result) is False
+        assert cache.stats.skipped == 1
+        assert cache.lookup(store, q) is None
+
+    def test_lru_eviction(self, store):
+        caching = CachingStore(store, capacity=2)
+        qs = [Query("air.co2.ppm", 0, 1000 * i) for i in (1, 2, 3)]
+        for q in qs:
+            caching.run_many([q])
+        assert len(caching.cache) == 2
+        assert caching.cache.stats.evicted == 1
+        caching.run_many([qs[0]])  # evicted: a miss again
+        assert caching.cache.stats.hits == 0
+
+
+class TestIncrementalRefresher:
+    def test_steady_state_takes_incremental_path(self):
+        db = _seeded(TSDB())
+        refresher = IncrementalRefresher(db)
+        q1 = Query("air.co2.ppm", 0, 4000, downsample="10m-avg")
+        full = refresher.run(q1)
+        db.put("air.co2.ppm", 4500, 500.0, {"node": "a", "city": "trondheim"})
+        q2 = Query("air.co2.ppm", 0, 5000, downsample="10m-avg")
+        inc = refresher.run(q2)
+        assert refresher.stats.full_runs == 1
+        assert refresher.stats.incremental_runs == 1
+        assert inc.scanned_points < full.scanned_points
+        assert _same_series(inc, db.run_many([q2])[0])
+
+    def test_unchanged_window_is_cache_only(self):
+        db = _seeded(TSDB())
+        refresher = IncrementalRefresher(db)
+        # end == the newest point: everything in-window is final history
+        q = Query("air.co2.ppm", 0, 3300)
+        first = refresher.run(q)
+        second = refresher.run(q)
+        assert refresher.stats.cache_only_runs == 1
+        assert second.scanned_points == 0
+        assert _same_series(first, second)
+
+    def test_rate_always_runs_full(self):
+        db = _seeded(TSDB())
+        refresher = IncrementalRefresher(db)
+        q = Query("air.co2.ppm", 0, 4000, rate=True)
+        refresher.run(q)
+        refresher.run(q)
+        assert refresher.stats.full_runs == 2
+        assert refresher.stats.incremental_runs == 0
+
+    def test_out_of_order_write_invalidates(self):
+        db = _seeded(TSDB())
+        refresher = IncrementalRefresher(db)
+        refresher.run(Query("air.co2.ppm", 0, 4000))
+        # Lands *before* the series maximum: history is no longer final.
+        db.put("air.co2.ppm", 150, 7.0, {"node": "a", "city": "trondheim"})
+        q = Query("air.co2.ppm", 0, 5000)
+        out = refresher.run(q)
+        assert refresher.stats.invalidated == 1
+        assert refresher.stats.incremental_runs == 0
+        assert _same_series(out, db.run_many([q])[0])
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_property_refresh_equals_full_rescan(self, data):
+        """Any append/slide interleaving: refresher ≡ fresh run_many."""
+        db = TSDB()
+        refresher = IncrementalRefresher(db)
+        agg = data.draw(st.sampled_from(("avg", "count", "max", "dev")))
+        downsample = data.draw(
+            st.sampled_from((None, "10s-avg", "10s-avg-zero", "10s-count")))
+        group_by = data.draw(st.sampled_from(((), ("node",))))
+        now = 0
+        for _ in range(data.draw(st.integers(2, 6))):
+            for _ in range(data.draw(st.integers(0, 15))):
+                now += data.draw(st.integers(1, 9))
+                db.put("m", now, float(data.draw(st.integers(-5, 5))),
+                       {"node": data.draw(st.sampled_from("ab"))})
+            start = data.draw(st.sampled_from(
+                (0, max(0, now - 60), max(0, (now - 60) // 10 * 10))))
+            end = now + data.draw(st.integers(0, 5))
+            if end < start:
+                continue
+            q = Query("m", start, end, aggregator=agg,
+                      downsample=downsample, group_by=group_by)
+            got = refresher.run(q)
+            want = db.run_many([q])[0]
+            assert _same_series(got, want)
+
+
+# -- live-server integration ------------------------------------------------
+
+@contextlib.contextmanager
+def live_server(store, **kwargs):
+    """A QueryServer on its own event-loop thread, torn down cleanly."""
+    server = QueryServer(store, port=0, **kwargs)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    stop_event: list[asyncio.Event] = []
+
+    async def main():
+        stop = asyncio.Event()
+        stop_event.append(stop)
+        await server.start()
+        started.set()
+        await stop.wait()
+        await server.stop()
+
+    thread = threading.Thread(
+        target=lambda: loop.run_until_complete(main()), daemon=True)
+    thread.start()
+    assert started.wait(10), "server failed to start"
+    try:
+        yield server
+    finally:
+        loop.call_soon_threadsafe(stop_event[0].set)
+        thread.join(timeout=10)
+        loop.close()
+
+
+class _SlowStore(TSDB):
+    """A store whose batch execution takes a visible amount of time."""
+
+    def _run_unique_batch(self, queries, parallel=None):
+        time.sleep(0.05)
+        return super()._run_unique_batch(queries, parallel=parallel)
+
+
+def _raw_exchange(address, *lines):
+    """Send raw request lines over one connection; one reply line each."""
+    with socket.create_connection(address, timeout=10) as sock:
+        file = sock.makefile("rb")
+        replies = []
+        for line in lines:
+            sock.sendall(line if isinstance(line, bytes) else line.encode())
+            replies.append(json.loads(file.readline()))
+        return replies
+
+
+def _pipelined_exchange(address, *lines):
+    """Send every line up front, then collect one reply per line."""
+    with socket.create_connection(address, timeout=10) as sock:
+        file = sock.makefile("rb")
+        sock.sendall(b"".join(
+            line if isinstance(line, bytes) else line.encode()
+            for line in lines))
+        return [json.loads(file.readline()) for _ in lines]
+
+
+class TestQueryServer:
+    def test_concurrent_clients_get_store_bytes(self, store):
+        qs = [
+            Query("air.co2.ppm", 0, 4000, downsample="10m-avg"),
+            Query("air.co2.ppm", 0, 4000, group_by=("node",)),
+        ]
+        want = wire.encode_response(store.run_many(qs))
+        failures = []
+
+        def one_client(i):
+            try:
+                with QueryClient(*server.address, tenant=f"t{i % 3}") as c:
+                    for _ in range(4):
+                        got = c.request(qs)
+                        got.pop("id", None)
+                        if got != want:
+                            failures.append(got)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                failures.append(exc)
+
+        with live_server(store) as server:
+            threads = [threading.Thread(target=one_client, args=(i,))
+                       for i in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert not failures
+            stats = server.stats()
+        assert stats["requests"] == 32
+        assert stats["cache"]["hits"] >= 32 - len(qs)
+        assert set(stats["tenants"]) == {"t0", "t1", "t2"}
+        assert sum(lane["admitted"]
+                   for lane in stats["tenants"].values()) == 32
+
+    def test_malformed_lines_keep_connection_usable(self, store):
+        good = json.dumps(
+            {**wire.encode_request([Query("air.co2.ppm", 0, 4000)]),
+             "id": 7}) + "\n"
+        with live_server(store) as server:
+            replies = _raw_exchange(
+                server.address,
+                "this is not json\n",
+                '"a json string, not an object"\n',
+                json.dumps({"version": 99, "queries": []}) + "\n",
+                json.dumps({"version": wire.WIRE_VERSION,
+                            "queries": [{"metric": "m", "start": True,
+                                         "end": 4}]}) + "\n",
+                good,
+            )
+        assert [r["error"]["type"] for r in replies[:4]] == ["WireError"] * 4
+        assert replies[4]["id"] == 7 and "results" in replies[4]
+
+    def test_store_fault_answers_internal_error(self):
+        class ExplodingStore(TSDB):
+            def _run_unique_batch(self, queries, parallel=None):
+                raise RuntimeError("disk on fire")
+
+        with live_server(_seeded(ExplodingStore())) as server:
+            (reply,) = _raw_exchange(
+                server.address,
+                json.dumps(wire.encode_request(
+                    [Query("air.co2.ppm", 0, 100)])) + "\n")
+        assert reply["error"]["type"] == "InternalError"
+        assert "disk on fire" in reply["error"]["message"]
+
+    def test_drop_oldest_admission_answers_overloaded(self):
+        policy = TenantPolicy(max_pending=1, backpressure="drop-oldest",
+                              parallelism=1)
+        line = json.dumps(wire.encode_request(
+            [Query("air.co2.ppm", 0, 4000)])) + "\n"
+        with live_server(_seeded(_SlowStore()),
+                         default_policy=policy) as server:
+            replies = _pipelined_exchange(server.address, *([line] * 8))
+            stats = server.stats()
+        dropped = [r for r in replies if "error" in r]
+        served = [r for r in replies if "results" in r]
+        assert dropped and served  # overload answered, not wedged
+        assert all(r["error"]["type"] == "Overloaded" for r in dropped)
+        assert stats["tenants"]["public"]["dropped"] == len(dropped)
+
+    def test_refresh_flag_routes_through_refresher(self, store):
+        q = Query("air.co2.ppm", 0, 4000, downsample="10m-avg")
+        want = store.run_many([q])[0]
+        with live_server(store) as server:
+            with QueryClient(*server.address) as client:
+                first = client.run_many([q], refresh=True)
+                second = client.run_many([q], refresh=True)
+            stats = server.stats()
+        assert stats["refresh"]["full_runs"] == 1
+        assert (stats["refresh"]["incremental_runs"]
+                + stats["refresh"]["cache_only_runs"]) == 1
+        for decoded in (first[0], second[0]):
+            assert list(decoded.series[0].values) == \
+                list(want.series[0].slice.values)
+
+    def test_client_remote_error_not_retried(self, store):
+        with live_server(store) as server:
+            with QueryClient(*server.address, retries=3) as client:
+                with pytest.raises(wire.RemoteQueryError) as err:
+                    client.request = _bad_version_request.__get__(client)
+                    client.run_many([Query("air.co2.ppm", 0, 100)])
+            stats = server.stats()
+        assert err.value.error_type == "WireError"
+        assert stats["requests"] == 1  # one answer, zero retries
+
+    def test_client_exhausts_retries_against_dead_port(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        client = QueryClient("127.0.0.1", dead_port, retries=1,
+                             backoff=0.001, timeout=0.5)
+        with pytest.raises(OSError):
+            client.run_many([Query("m", 0, 1)])
+
+
+def _bad_version_request(self, queries, *, refresh=False):
+    """A client whose wire version drifted: server must answer in-band."""
+    envelope = wire.encode_request(queries)
+    envelope["version"] = 99
+    line = json.dumps(envelope).encode() + b"\n"
+    self.connect()
+    self._sock.sendall(line)
+    return json.loads(self._file.readline())

@@ -11,7 +11,7 @@ and off, plus the semantics of the new surfaces themselves.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.tsdb import (
@@ -446,6 +446,14 @@ class TestScanPlan:
     rate=st.booleans(),
     group_by=st.sampled_from(((), ("node",), ("city", "node"))),
 )
+@example(
+    seed=0,
+    n_shards=7,
+    agg='count',
+    downsample=None,
+    rate=True,
+    group_by=('node',),
+).via('discovered failure')
 def test_property_pushdown_equivalence(seed, n_shards, agg, downsample, rate,
                                        group_by):
     """Randomized workloads: batched sharded execution == seed plan."""

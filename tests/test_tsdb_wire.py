@@ -17,6 +17,7 @@ from hypothesis import strategies as st
 
 from repro.tsdb import (
     Query,
+    RemoteQueryError,
     TSDB,
     WIRE_VERSION,
     WireError,
@@ -240,3 +241,107 @@ class TestStrictness:
     def test_builders_encode_like_their_query(self):
         b = select("m").range(0, 100).where(node="a").downsample("5m-avg")
         assert wire.encode_query(b) == wire.encode_query(b.build())
+
+    def test_boolean_timestamps_rejected(self):
+        """``True`` is an ``int`` to Python but not to the wire format."""
+        for bad in (
+            {"metric": "m", "start": True, "end": 10},
+            {"metric": "m", "start": 0, "end": False},
+        ):
+            with pytest.raises(WireError, match="integer timestamp"):
+                wire.decode_request(
+                    {"version": WIRE_VERSION, "queries": [bad]}
+                )
+
+    def test_non_integral_timestamps_rejected(self):
+        with pytest.raises(WireError, match="integer timestamp"):
+            wire.decode_request({
+                "version": WIRE_VERSION,
+                "queries": [{"metric": "m", "start": 0.5, "end": 10}],
+            })
+
+    def test_integral_float_timestamps_accepted(self):
+        """JSON writers that emit ``100.0`` for 100 still interoperate."""
+        (q,) = wire.decode_request({
+            "version": WIRE_VERSION,
+            "queries": [{"metric": "m", "start": 100.0, "end": 2.0e3}],
+        })
+        assert (q.start, q.end) == (100, 2000)
+        assert isinstance(q.start, int) and isinstance(q.end, int)
+
+
+class TestInfinityEncoding:
+    """±inf travels as explicit strings; NaN as null; never bare tokens."""
+
+    def _db_with(self, *values):
+        db = TSDB()
+        for i, v in enumerate(values):
+            db.put("m", i * 10, v, {"node": "a"})
+        return db
+
+    def test_response_json_is_rfc8259_valid(self):
+        db = self._db_with(1.0, math.inf, -math.inf, 2.5)
+        res = db.run_many([Query("m", 0, 100)])
+        text = wire.response_to_json(res)
+        # stdlib strict parsing: would fail on bare Infinity/NaN tokens
+        payload = json.loads(text, parse_constant=lambda t: pytest.fail(
+            f"bare non-finite token {t!r} in wire JSON"))
+        dps = payload["results"][0]["series"][0]["dps"]
+        assert dps["10"] == "Infinity"
+        assert dps["20"] == "-Infinity"
+
+    def test_infinity_round_trip(self):
+        db = self._db_with(math.inf, -math.inf)
+        res = db.run_many([Query("m", 0, 100)])
+        (decoded,) = wire.decode_response(wire.response_to_json(res))
+        assert list(decoded.series[0].values) == [math.inf, -math.inf]
+
+    def test_unknown_value_spellings_rejected(self):
+        base = {"version": WIRE_VERSION, "results": [
+            {"series": [{"metric": "m", "tags": {}, "dps": {"0": None}}],
+             "scannedPoints": 0}]}
+        for bad in ("inf", "+Infinity", "NaN", True):
+            payload = json.loads(json.dumps(base))
+            payload["results"][0]["series"][0]["dps"]["0"] = bad
+            with pytest.raises(WireError):
+                wire.decode_response(payload)
+
+
+class TestErrorResponses:
+    """Satellite 1: errors are answered in-band, not raised at the caller."""
+
+    def test_handle_request_answers_bad_version(self, db):
+        response = handle_request(db, {"version": 99, "queries": []})
+        assert response["version"] == WIRE_VERSION
+        assert response["error"]["type"] == "WireError"
+        assert "version" in response["error"]["message"]
+
+    def test_handle_request_answers_malformed_query(self, db):
+        response = handle_request(db, {
+            "version": WIRE_VERSION,
+            "queries": [{"metric": "m", "start": 5, "end": 1}],
+        })
+        assert response["error"]["type"] == "WireError"
+
+    def test_handle_request_answers_bad_json_text(self, db):
+        response = handle_request(db, "{not json")
+        assert response["error"]["type"] == "WireError"
+
+    def test_error_response_survives_json(self, db):
+        response = handle_request(db, {"version": 99})
+        assert json.loads(wire.error_to_json(
+            WireError(response["error"]["message"]))) is not None
+        assert json.loads(json.dumps(response, allow_nan=False)) == response
+
+    def test_decode_response_raises_remote_error(self):
+        response = wire.encode_error(WireError("nope"))
+        with pytest.raises(RemoteQueryError) as err:
+            wire.decode_response(response)
+        assert err.value.error_type == "WireError"
+        assert err.value.message == "nope"
+
+    def test_good_request_unaffected(self, db):
+        qs = [Query("air.co2.ppm", 0, 4000)]
+        response = handle_request(db, wire.request_to_json(qs))
+        assert "error" not in response
+        assert wire.decode_response(response)
