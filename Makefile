@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-sharded test-region test-persist test-query serve-test bench bench-sharded bench-region bench-persist bench-query bench-serve lint
+.PHONY: test test-sharded test-region test-persist test-query test-catalog serve-test bench bench-sharded bench-region bench-persist bench-query bench-serve bench-catalog lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -30,6 +30,13 @@ test-query:
 serve-test:
 	$(PYTHON) -m pytest -q tests/test_serve.py tests/test_tsdb_wire.py
 
+# The catalog gate: postings-index matching byte-identical to the
+# brute-force scan under random ingest/retention/restore interleavings
+# (hypothesis), cardinality guard-rails, catalog rebuild on every
+# restore path, catalog wire/CLI surface.
+test-catalog:
+	$(PYTHON) -m pytest -q tests/test_tsdb_catalog.py tests/test_tsdb_wire.py tests/test_serve.py
+
 bench:
 	$(PYTHON) -m pytest -q benchmarks/test_ingest_throughput.py -s
 
@@ -55,6 +62,11 @@ bench-query:
 # >=5x cached speedup and records the serve section.
 bench-serve:
 	$(PYTHON) -m pytest -q benchmarks/test_serve_throughput.py -s
+
+# Inverted-index matching vs pre-catalog scan at 120k series; gates
+# the >=5x indexed speedup and records the catalog section.
+bench-catalog:
+	$(PYTHON) -m pytest -q benchmarks/test_catalog.py -s
 
 lint:
 	$(PYTHON) -m ruff check src/

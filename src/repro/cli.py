@@ -11,6 +11,9 @@ the system without writing code:
 - ``query``       — batch-execute OpenTSDB-shape queries over a simulated
   city and print the JSON wire response; with ``--connect HOST:PORT``
   the queries go to a running query server instead;
+- ``catalog``     — series-metadata lookups (metrics, tag keys, tag
+  values, cardinality) against a simulated city or, with
+  ``--connect``, a running query server;
 - ``serve``       — simulate a city, then serve its store over the
   asyncio TCP query service (newline-delimited JSON wire requests);
 - ``convert-log`` — migrate a WAL/snapshot between the text line
@@ -154,16 +157,22 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_tags(city: str, spec: str | None) -> dict:
-    tags = {"city": city}
+def _parse_tag_pairs(spec: str | None, *, context: str = "query") -> dict:
+    tags: dict = {}
     for pair in (spec or "").split(","):
         if not pair.strip():
             continue
         if "=" not in pair:
-            raise SystemExit(f"query: bad --tags entry {pair!r}; expected k=v")
+            raise SystemExit(
+                f"{context}: bad --tags entry {pair!r}; expected k=v"
+            )
         k, v = pair.split("=", 1)
         tags[k.strip()] = v.strip()
     return tags
+
+
+def _parse_tags(city: str, spec: str | None) -> dict:
+    return {"city": city, **_parse_tag_pairs(spec)}
 
 
 def _flag_queries(args: argparse.Namespace, start: int, end: int) -> list:
@@ -263,6 +272,65 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_catalog(args: argparse.Namespace) -> int:
+    """Series-metadata lookups as wire JSON, local or over the network.
+
+    The op is inferred from the flags, mirroring OpenTSDB's
+    ``/api/suggest`` family:
+
+    - no flags              → ``metrics`` (every metric in the store);
+    - ``--metric M``        → ``tag_keys`` (tag keys under ``M``);
+    - ``--metric M --key K``→ ``tag_values`` (distinct values of ``K``);
+    - ``--metric M --cardinality [--tags K=V,...]`` → matching-series
+      count (tag values may use ``*`` and ``a|b`` patterns).
+
+    Locally the lookup runs against a freshly simulated city; with
+    ``--connect HOST:PORT`` it goes to a running ``repro serve``
+    endpoint (where it is answered from the server's generation-
+    validated catalog cache).  Exit status 1 on an in-band error reply
+    — e.g. a guard-rail rejection.
+    """
+    import json
+
+    from .tsdb import wire
+
+    if args.key and args.cardinality:
+        raise SystemExit("catalog: --key and --cardinality are exclusive")
+    if (args.key or args.cardinality) and not args.metric:
+        raise SystemExit("catalog: --key/--cardinality need --metric")
+    if args.tags and not args.cardinality:
+        raise SystemExit("catalog: --tags only applies to --cardinality")
+    if args.cardinality:
+        op = "cardinality"
+    elif args.key:
+        op = "tag_values"
+    elif args.metric:
+        op = "tag_keys"
+    else:
+        op = "metrics"
+    tags = _parse_tag_pairs(args.tags, context="catalog") or None
+
+    if args.connect:
+        from .serve import QueryClient
+
+        host, port = _parse_connect(args.connect)
+        try:
+            with QueryClient(host, port, tenant=args.tenant) as client:
+                response = client.catalog_request(
+                    op, metric=args.metric, key=args.key, tags=tags
+                )
+        except OSError as exc:
+            raise SystemExit(f"catalog: cannot reach {host}:{port}: {exc}")
+    else:
+        eco, city = _build(args.city, args.hours, args.seed, args.shards)
+        request = wire.encode_catalog_request(
+            op, metric=args.metric, key=args.key, tags=tags
+        )
+        response = wire.handle_catalog_request(city.db, request)
+    print(json.dumps(response, indent=2))
+    return 0 if "error" not in response else 1
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Simulate a city, then serve its store over asyncio TCP.
 
@@ -286,6 +354,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         default_policy=policy,
         cache_capacity=args.cache_capacity,
+        max_match_series=args.max_match_series,
     )
 
     async def _main() -> None:
@@ -436,6 +505,31 @@ def build_parser() -> argparse.ArgumentParser:
              "(with --connect)")
     p_query.set_defaults(func=cmd_query)
 
+    p_cat = sub.add_parser(
+        "catalog",
+        help="series-metadata lookups: metrics, tag keys/values, cardinality",
+    )
+    common(p_cat)
+    p_cat.add_argument(
+        "--metric", default=None, metavar="NAME",
+        help="scope to one metric (alone: list its tag keys)")
+    p_cat.add_argument(
+        "--key", default=None, metavar="TAGKEY",
+        help="list distinct values of this tag key (needs --metric)")
+    p_cat.add_argument(
+        "--cardinality", action="store_true",
+        help="count matching series instead of listing (needs --metric)")
+    p_cat.add_argument(
+        "--tags", default=None, metavar="K=V[,K=V...]",
+        help="tag filter for --cardinality ('*' and 'a|b' patterns allowed)")
+    p_cat.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="ask a running 'repro serve' endpoint instead of simulating")
+    p_cat.add_argument(
+        "--tenant", default=None, metavar="NAME",
+        help="admission-control lane on the server (with --connect)")
+    p_cat.set_defaults(func=cmd_catalog)
+
     p_serve = sub.add_parser(
         "serve",
         help="simulate a city and serve its store over asyncio TCP",
@@ -458,6 +552,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--parallelism", type=int, default=2, metavar="N",
         help="concurrent requests per tenant lane (default: 2)")
+    p_serve.add_argument(
+        "--max-match-series", type=int, default=None, metavar="N",
+        help="reject queries whose tag filter matches more than N series "
+             "(default: unlimited)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_conv = sub.add_parser(

@@ -7,7 +7,8 @@ usable on its own:
 - :mod:`~repro.serve.cache` — :class:`CachingStore`, a bounded-LRU
   result cache keyed by the planner's canonical query key and
   validated by per-series write generations (exact invalidation, no
-  timers);
+  timers), plus :class:`CatalogCache`, the same discipline applied to
+  series-metadata answers;
 - :mod:`~repro.serve.refresh` — :class:`IncrementalRefresher`,
   steady-state dashboard refresh that rescans only past the splice
   boundary append-only writes cannot have changed;
@@ -18,7 +19,7 @@ usable on its own:
   SDK (connection reuse, timeout, retry with backoff, batched calls).
 """
 
-from .cache import CacheStats, CachingStore, ResultCache
+from .cache import CacheStats, CachingStore, CatalogCache, ResultCache
 from .client import QueryClient
 from .refresh import IncrementalRefresher, RefreshStats
 from .server import QueryServer, TenantPolicy, serve
@@ -26,6 +27,7 @@ from .server import QueryServer, TenantPolicy, serve
 __all__ = [
     "CacheStats",
     "CachingStore",
+    "CatalogCache",
     "IncrementalRefresher",
     "QueryClient",
     "QueryServer",

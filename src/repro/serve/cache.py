@@ -34,6 +34,7 @@ from typing import Sequence
 from ..tsdb.interface import StoreApi
 from ..tsdb.plan import _canonical_key
 from ..tsdb.query import Query, QueryResult
+from ..tsdb.wire import CatalogRequest
 
 
 @dataclass
@@ -130,6 +131,77 @@ class ResultCache:
             return False
         key = _canonical_key(q)
         self._entries[key] = (result, validators)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evicted += 1
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class CatalogCache:
+    """LRU of catalog responses validated by catalog generations.
+
+    Catalog answers are tiny but hot — dashboards hammer the suggest
+    surface while the user types — so the same generation discipline as
+    :class:`ResultCache` applies: whole-catalog answers (``metrics``)
+    validate against the store's global catalog generation, and
+    metric-scoped answers validate against that metric's generation,
+    which moves exactly when series appear under or vanish from the
+    metric.  Capture-before / check-after keeps racing writes from
+    stamping a stale answer fresh.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.stats = CacheStats()
+        self._entries: OrderedDict[tuple, tuple[dict, _Validators]] = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def capture(self, store, req: CatalogRequest) -> _Validators:
+        if req.op == "metrics":
+            return ("catalog", store.catalog_generation())
+        return ("metric", req.metric, store.metric_generation(req.metric))
+
+    def _holds(self, store, validators: _Validators) -> bool:
+        if validators[0] == "catalog":
+            return store.catalog_generation() == validators[1]
+        _, metric, gen = validators
+        return store.metric_generation(metric) == gen
+
+    def lookup(self, store, req: CatalogRequest) -> dict | None:
+        key = req.cache_key()
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        response, validators = entry
+        if not self._holds(store, validators):
+            del self._entries[key]
+            self.stats.invalidated += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return response
+
+    def insert(
+        self, store, req: CatalogRequest, validators: _Validators,
+        response: dict,
+    ) -> bool:
+        if not self._holds(store, validators):
+            self.stats.skipped += 1
+            return False
+        key = req.cache_key()
+        self._entries[key] = (response, validators)
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)

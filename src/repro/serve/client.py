@@ -103,12 +103,21 @@ class QueryClient:
         transport error when retries are exhausted.
         """
         envelope = wire.encode_request(queries)
+        if refresh:
+            envelope["refresh"] = True
+        return self._call(envelope)
+
+    def _call(self, envelope: dict) -> dict:
+        """Stamp the envelope, send it, and read one reply line.
+
+        The shared transport loop under :meth:`request` and
+        :meth:`catalog_request`: connection reuse, per-call timeout,
+        retry with exponential backoff, and reply-id correlation.
+        """
         self._next_id += 1
         envelope["id"] = self._next_id
         if self.tenant is not None:
             envelope["tenant"] = self.tenant
-        if refresh:
-            envelope["refresh"] = True
         line = json.dumps(envelope, allow_nan=False).encode() + b"\n"
 
         last_error: Exception | None = None
@@ -159,6 +168,39 @@ class QueryClient:
     def run(self, query: Query | QueryBuilder | ExprQuery) -> WireResult:
         """Execute a single query remotely."""
         return self.run_many([query])[0]
+
+    # -- catalog metadata ------------------------------------------------
+    def catalog_request(
+        self,
+        op: str,
+        *,
+        metric: str | None = None,
+        key: str | None = None,
+        tags: dict | None = None,
+    ) -> dict:
+        """One catalog call; returns the raw (JSON-decoded) response."""
+        return self._call(
+            wire.encode_catalog_request(op, metric=metric, key=key, tags=tags)
+        )
+
+    def catalog(
+        self,
+        op: str,
+        *,
+        metric: str | None = None,
+        key: str | None = None,
+        tags: dict | None = None,
+    ) -> list | int:
+        """Series-metadata lookup: the remote suggest/cardinality surface.
+
+        ``op`` is one of ``metrics``, ``tag_keys``, ``tag_values``,
+        ``cardinality``; the first three return sorted string lists,
+        the last an integer.  Raises :class:`RemoteQueryError` on an
+        in-band error (malformed request, guard-rail rejection).
+        """
+        return wire.decode_catalog_response(
+            self.catalog_request(op, metric=metric, key=key, tags=tags)
+        )
 
 
 __all__ = ["QueryClient", "RemoteQueryError"]

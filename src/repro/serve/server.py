@@ -11,6 +11,14 @@ optional envelope fields stripped before decoding:
   :class:`~repro.serve.refresh.IncrementalRefresher` (steady-state
   dashboard polling) instead of the result cache.
 
+A payload carrying a ``"catalog"`` object instead of ``"queries"`` is a
+series-metadata lookup (the ``/api/suggest`` surface — see
+:mod:`repro.tsdb.catalog`), answered through a generation-validated
+:class:`~repro.serve.cache.CatalogCache`.  With ``max_match_series``
+set, query batches are additionally guarded: any sub-query whose tag
+filter matches more series than the limit is rejected in-band with a
+``CardinalityLimitError`` before a single point is scanned.
+
 Replies are one JSON line each: a wire response, a wire *error*
 response for anything malformed (the connection always stays usable —
 that is the point of the ``handle_request`` bugfix underneath), or an
@@ -41,7 +49,11 @@ from dataclasses import dataclass
 
 from ..region.queue import Backpressure
 from ..tsdb import wire
-from .cache import CachingStore
+from ..tsdb.catalog import CardinalityLimitError
+from ..tsdb.model import InvalidName
+from ..tsdb.plan import ExprQuery
+from ..tsdb.query import QueryError
+from .cache import CachingStore, CatalogCache
 from .refresh import IncrementalRefresher
 
 
@@ -131,9 +143,15 @@ class QueryServer:
         default_policy: TenantPolicy | None = None,
         tenant_policies: dict[str, TenantPolicy] | None = None,
         cache_capacity: int = 128,
+        catalog_cache_capacity: int = 256,
+        max_match_series: int | None = None,
     ) -> None:
+        if max_match_series is not None and max_match_series <= 0:
+            raise ValueError("max_match_series must be positive")
         self.caching = CachingStore(store, capacity=cache_capacity)
         self.refresher = IncrementalRefresher(self.caching)
+        self.catalog_cache = CatalogCache(catalog_cache_capacity)
+        self.max_match_series = max_match_series
         self._host = host
         self._port = port
         self._default_policy = default_policy or TenantPolicy()
@@ -185,6 +203,7 @@ class QueryServer:
             "requests": self.requests,
             "errors": self.errors,
             "cache": self.caching.cache.stats.as_dict(),
+            "catalog_cache": self.catalog_cache.stats.as_dict(),
             "refresh": self.refresher.stats.as_dict(),
             "tenants": {
                 name: lane.stats() for name, lane in sorted(self._lanes.items())
@@ -248,15 +267,67 @@ class QueryServer:
         """Runs on the executor thread: decode → run → encode, total."""
         self.requests += 1
         try:
+            if isinstance(job.payload, dict) and "catalog" in job.payload:
+                return self._serve_catalog(job.payload)
+            queries = wire.decode_request(job.payload)
+            self._guard_match_cardinality(queries)
             if job.refresh:
-                queries = wire.decode_request(job.payload)
                 results = [self.refresher.run(q) for q in queries]
-                return wire.encode_response(results)
-            return wire.handle_request(self.caching, job.payload)
-        except wire.WireError as exc:
+            else:
+                results = self.caching.run_many(queries)
+            return wire.encode_response(results)
+        except (
+            wire.WireError, QueryError, InvalidName, CardinalityLimitError
+        ) as exc:
             return wire.encode_error(exc)
         except Exception as exc:  # store fault: answer, don't die
             return _error_dict("InternalError", f"{type(exc).__name__}: {exc}")
+
+    def _serve_catalog(self, payload: dict) -> dict:
+        """Catalog metadata request, served through the catalog cache."""
+        req = wire.decode_catalog_request(payload)
+        cached = self.catalog_cache.lookup(self.caching, req)
+        if cached is not None:
+            return cached
+        validators = self.catalog_cache.capture(self.caching, req)
+        response = wire.execute_catalog_request(self.caching, req)
+        self.catalog_cache.insert(self.caching, req, validators, response)
+        return response
+
+    def _guard_match_cardinality(self, queries) -> None:
+        """Reject queries whose tag filter fans out over too many series.
+
+        The serving-side guard-rail: a wildcard query over a
+        high-cardinality metric would scan (and cache) an answer
+        assembled from thousands of series.  With ``max_match_series``
+        set, each sub-query's match cardinality is checked against the
+        catalog — an O(postings) set intersection — before any scan
+        runs, and oversized queries come back as an in-band
+        ``CardinalityLimitError``.
+        """
+        limit = self.max_match_series
+        if limit is None:
+            return
+        seen: set = set()
+        for q in queries:
+            subs = (
+                tuple(sub for _, sub in q.operands)
+                if isinstance(q, ExprQuery)
+                else (q,)
+            )
+            for sub in subs:
+                probe = (sub.metric, tuple(sorted(sub.tags.items())))
+                if probe in seen:
+                    continue
+                seen.add(probe)
+                matched = self.caching.cardinality(sub.metric, sub.tags)
+                if matched > limit:
+                    raise CardinalityLimitError(
+                        f"query on metric {sub.metric!r} matches {matched} "
+                        f"series, over the server's {limit}-series limit "
+                        f"(narrow the tag filter)",
+                        limit=limit,
+                    )
 
     async def _reply(self, job: _Job, response: dict) -> None:
         if "error" in response:

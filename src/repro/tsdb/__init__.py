@@ -17,6 +17,7 @@ old raw data up into coarser series.
 
 from . import aggregators
 from .batch import BatchBuilder, PointBatch, run_boundaries
+from .catalog import CardinalityLimitError, MergedCatalog, SeriesCatalog
 from .database import TSDB, execute_query
 from .downsample import Downsample, FillPolicy, InvalidDownsampleSpec
 from .interface import TimeSeriesStore
@@ -74,11 +75,14 @@ from .query import Query, QueryError, QueryResult, ResultSeries, compute_rate
 from .retention import PerShardRetention, RetentionPolicy, RolledUp
 from .wire import (
     WIRE_VERSION,
+    CatalogRequest,
     RemoteQueryError,
     WireError,
     WireResult,
     WireSeries,
+    encode_catalog_request,
     encode_error,
+    handle_catalog_request,
     handle_request,
 )
 from .series import SeriesSlice, SeriesStore, merge_slices
@@ -88,6 +92,8 @@ __all__ = [
     "ALL_AIR_METRICS",
     "ALL_WEATHER_METRICS",
     "BatchBuilder",
+    "CardinalityLimitError",
+    "CatalogRequest",
     "DataPoint",
     "DeleteBefore",
     "Downsample",
@@ -108,6 +114,7 @@ __all__ = [
     "METRIC_PRESSURE",
     "METRIC_TEMPERATURE",
     "METRIC_TRAFFIC_COUNT",
+    "MergedCatalog",
     "PerShardRetention",
     "PointBatch",
     "Query",
@@ -120,6 +127,7 @@ __all__ = [
     "RolledUp",
     "SegmentCorruption",
     "SegmentWriter",
+    "SeriesCatalog",
     "SeriesKey",
     "SeriesSlice",
     "SeriesStore",
@@ -135,9 +143,11 @@ __all__ = [
     "convert_log",
     "detect_format",
     "dumps",
+    "encode_catalog_request",
     "encode_error",
     "execute_query",
     "expr",
+    "handle_catalog_request",
     "handle_request",
     "format_delete_before",
     "format_point",

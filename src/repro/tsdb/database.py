@@ -15,8 +15,9 @@ import numpy as np
 
 from . import plan as planner
 from .batch import PointBatch
+from .catalog import SeriesCatalog
 from .interface import StoreApi
-from .model import DataPoint, SeriesKey, validate_name
+from .model import DataPoint, SeriesKey
 from .query import Query, QueryResult
 from .series import SeriesSlice, SeriesStore
 
@@ -31,17 +32,26 @@ class TSDB(StoreApi):
       (the hot ingest path; :meth:`put` is the degenerate single-point
       case of the same store machinery),
     - :meth:`run` executes a :class:`Query`,
-    - :meth:`suggest_metrics` / :meth:`suggest_tag_values` back dashboard
-      autocomplete,
+    - :meth:`suggest_metrics` / :meth:`suggest_tag_values` /
+      :meth:`tag_keys` / :meth:`tag_values` / :meth:`cardinality` back
+      dashboard autocomplete and capacity planning (the
+      :class:`~repro.tsdb.catalog.SeriesCatalog` metadata surface),
     - :meth:`last` serves "current value" dashboard panels.
+
+    ``max_tag_values`` arms the catalog's cardinality guard-rail: a
+    write that would create more distinct values of one tag key under
+    one metric is rejected with
+    :class:`~repro.tsdb.catalog.CardinalityLimitError` before any state
+    changes (within a batch, rows of series admitted earlier stay
+    written — the same at-least-once boundary a WAL replay has).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, max_tag_values: int | None = None) -> None:
         self._stores: dict[SeriesKey, SeriesStore] = {}
-        # metric -> set of series keys
-        self._by_metric: dict[str, set[SeriesKey]] = defaultdict(set)
-        # (tagk, tagv) -> set of series keys
-        self._by_tag: dict[tuple[str, str], set[SeriesKey]] = defaultdict(set)
+        # The inverted tag index: metric -> tag key -> tag value ->
+        # series postings, maintained on every index/unindex path, so
+        # matching and the metadata API are O(result), not O(series).
+        self.catalog = SeriesCatalog(max_tag_values)
         # metric -> count of series created/removed under it; a cached
         # match set for the metric is valid only while this holds still.
         self._metric_gen: dict[str, int] = defaultdict(int)
@@ -54,12 +64,12 @@ class TSDB(StoreApi):
         """Store for a series, creating it (and indexing it) on first sight."""
         store = self._stores.get(key)
         if store is None:
+            # Index first: the catalog's guard may reject the series,
+            # and a rejected series must leave no trace anywhere.
+            self.catalog.add(key)
             store = SeriesStore()
             self._stores[key] = store
-            self._by_metric[key.metric].add(key)
             self._metric_gen[key.metric] += 1
-            for pair in key.tags:
-                self._by_tag[pair].add(key)
         return store
 
     def put(
@@ -134,19 +144,27 @@ class TSDB(StoreApi):
         return self._puts
 
     def metrics(self) -> list[str]:
-        return sorted(m for m, keys in self._by_metric.items() if keys)
+        return self.catalog.metrics()
 
     def series_for_metric(self, metric: str) -> list[SeriesKey]:
-        return sorted(self._by_metric.get(metric, ()), key=str)
+        return self.catalog.series(metric)
+
+    def tag_keys(self, metric: str) -> list[str]:
+        """Tag keys appearing on any live series of ``metric``, sorted."""
+        return self.catalog.tag_keys(metric)
+
+    def tag_values(self, metric: str, tag_key: str) -> list[str]:
+        """Distinct live values of one tag key under ``metric``, sorted."""
+        return self.catalog.tag_values(metric, tag_key)
 
     def suggest_tag_values(self, metric: str, tag_key: str) -> list[str]:
-        validate_name(tag_key, "tag key")
-        values = {
-            key.tag(tag_key)
-            for key in self._by_metric.get(metric, ())
-            if key.tag(tag_key) is not None
-        }
-        return sorted(v for v in values if v is not None)
+        return self.catalog.tag_values(metric, tag_key)
+
+    def cardinality(
+        self, metric: str, tags: Mapping[str, str] | None = None
+    ) -> int:
+        """Number of live series matching ``(metric, tags)`` — O(result)."""
+        return self.catalog.cardinality(metric, tags)
 
     def last(
         self, metric: str, tags: Mapping[str, str] | None = None
@@ -192,6 +210,14 @@ class TSDB(StoreApi):
         this metric is valid only while this value holds still.
         """
         return self._metric_gen.get(metric, 0)
+
+    def catalog_generation(self) -> int:
+        """Counter of series created/removed anywhere in the store.
+
+        Whole-catalog answers (``metrics()``) are valid while it holds
+        still; metric-scoped answers use :meth:`metric_generation`.
+        """
+        return self.catalog.generation
 
     def series_latest(self, key: SeriesKey) -> tuple[int, float] | None:
         """Latest ``(timestamp, value)`` of one series, or None if unknown."""
@@ -249,19 +275,15 @@ class TSDB(StoreApi):
         return store.scan(start, end)
 
     def _match(self, metric: str, tags: Mapping[str, str]) -> list[SeriesKey]:
-        candidates = self._by_metric.get(metric)
-        if not candidates:
-            return []
-        # Narrow with the tag index for exact-value filters, then apply
-        # the full (wildcard/alternation-aware) match.
-        narrowed: set[SeriesKey] | None = None
-        for k, v in tags.items():
-            if v == "*" or "|" in v:
-                continue
-            bucket = self._by_tag.get((k, v), set())
-            narrowed = bucket.copy() if narrowed is None else narrowed & bucket
-        pool = candidates if narrowed is None else (candidates & narrowed)
-        return [key for key in pool if key.matches(tags)]
+        """Series matching a filter, in canonical sorted order.
+
+        Resolved entirely in the catalog's postings: exact values
+        intersect, ``"a|b"`` alternations union, ``"*"`` uses has-key
+        postings, and ``key.matches`` runs only over the narrowed pool
+        as a final exactness check — O(result), not O(series-under-
+        metric), and deterministic regardless of set iteration order.
+        """
+        return self.catalog.match(metric, tags)
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -308,16 +330,7 @@ class TSDB(StoreApi):
         """
         del self._stores[key]
         self._metric_gen[key.metric] += 1
-        metric_bucket = self._by_metric[key.metric]
-        metric_bucket.discard(key)
-        if not metric_bucket:
-            del self._by_metric[key.metric]
-        for pair in key.tags:
-            tag_bucket = self._by_tag.get(pair)
-            if tag_bucket is not None:
-                tag_bucket.discard(key)
-                if not tag_bucket:
-                    del self._by_tag[pair]
+        self.catalog.discard(key)
 
 
 def execute_query(

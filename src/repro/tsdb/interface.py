@@ -73,6 +73,17 @@ class TimeSeriesStore(Protocol):
 
     def suggest_tag_values(self, metric: str, tag_key: str) -> list[str]: ...
 
+    # -- catalog metadata (the /api/suggest surface; see tsdb.catalog) ---
+    def tag_keys(self, metric: str) -> list[str]: ...
+
+    def tag_values(self, metric: str, tag_key: str) -> list[str]: ...
+
+    def cardinality(
+        self, metric: str, tags: Mapping[str, str] | None = None
+    ) -> int: ...
+
+    def catalog_generation(self) -> int: ...
+
     def last(
         self, metric: str, tags: Mapping[str, str] | None = None
     ) -> dict[SeriesKey, tuple[int, float]]: ...

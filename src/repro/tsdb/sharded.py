@@ -35,10 +35,11 @@ from typing import Mapping, Sequence
 from . import aggregators, persistence
 from . import plan as planner
 from .batch import PointBatch
+from .catalog import MergedCatalog
 from .database import TSDB
 from .downsample import apply as apply_downsample
 from .interface import StoreApi
-from .model import DataPoint, SeriesKey, validate_name
+from .model import DataPoint, SeriesKey
 from .query import Query, QueryResult, ResultSeries, compute_rate
 from .series import SeriesSlice
 
@@ -78,10 +79,20 @@ class ShardedTSDB(StoreApi):
     the shared execution plan.
     """
 
-    def __init__(self, num_shards: int = 4) -> None:
+    def __init__(
+        self, num_shards: int = 4, *, max_tag_values: int | None = None
+    ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
         self._shards: tuple[TSDB, ...] = tuple(TSDB() for _ in range(num_shards))
+        # Merged read-only view over the per-shard catalogs; also holds
+        # the store-wide cardinality guard.  Shards run unlimited — a
+        # per-shard limit would admit up to N distinct values *per
+        # shard*, diverging from the single store's semantics — so the
+        # guard check happens at routing time (:meth:`_admit`).
+        self._catalog = MergedCatalog(
+            [sh.catalog for sh in self._shards], max_tag_values=max_tag_values
+        )
         # One fan-out pool per store, created lazily on first pooled
         # operation and reused for every query/snapshot/restore fan-out.
         # A per-call pool costs thread spawn + teardown on every
@@ -144,6 +155,16 @@ class ShardedTSDB(StoreApi):
     # ------------------------------------------------------------------
     # Writes (route per series)
     # ------------------------------------------------------------------
+    def _admit(self, key: SeriesKey, shard: TSDB) -> None:
+        """Store-wide cardinality guard for a series about to land.
+
+        Only series new to their owning shard can create tag values, so
+        the check — a union over shard catalogs — runs once per new
+        series, not per point.
+        """
+        if self._catalog.max_tag_values is not None and key not in shard._stores:
+            self._catalog.check_add(key)
+
     def put(
         self,
         metric: str,
@@ -152,12 +173,14 @@ class ShardedTSDB(StoreApi):
         tags: Mapping[str, str] | None = None,
     ) -> SeriesKey:
         key = SeriesKey.make(metric, tags)
-        return self._shards[self.shard_of(key)].put_point(
-            DataPoint(key, int(timestamp), float(value))
-        )
+        shard = self._shards[self.shard_of(key)]
+        self._admit(key, shard)
+        return shard.put_point(DataPoint(key, int(timestamp), float(value)))
 
     def put_point(self, point: DataPoint) -> SeriesKey:
-        return self._shards[self.shard_of(point.key)].put_point(point)
+        shard = self._shards[self.shard_of(point.key)]
+        self._admit(point.key, shard)
+        return shard.put_point(point)
 
     def put_batch(self, batch: PointBatch) -> int:
         """Route a columnar batch: one shard-local column write per series.
@@ -166,7 +189,9 @@ class ShardedTSDB(StoreApi):
         single-store last-write-wins semantics survive the fan-out.
         """
         for key, ts, vals in batch.by_series():
-            self._shards[self.shard_of(key)].put_column(key, ts, vals)
+            shard = self._shards[self.shard_of(key)]
+            self._admit(key, shard)
+            shard.put_column(key, ts, vals)
         return len(batch)
 
     def put_series(
@@ -200,24 +225,33 @@ class ShardedTSDB(StoreApi):
     def write_count(self) -> int:
         return sum(sh.write_count for sh in self._shards)
 
+    @property
+    def catalog(self) -> MergedCatalog:
+        """Read-only merged catalog over the per-shard inverted indexes."""
+        return self._catalog
+
     def metrics(self) -> list[str]:
-        names: set[str] = set()
-        for sh in self._shards:
-            names.update(sh.metrics())
-        return sorted(names)
+        return self._catalog.metrics()
 
     def series_for_metric(self, metric: str) -> list[SeriesKey]:
-        keys: list[SeriesKey] = []
-        for sh in self._shards:
-            keys.extend(sh.series_for_metric(metric))
-        return sorted(keys, key=str)
+        return self._catalog.series(metric)
+
+    def tag_keys(self, metric: str) -> list[str]:
+        """Tag keys on any live series of ``metric``, across all shards."""
+        return self._catalog.tag_keys(metric)
+
+    def tag_values(self, metric: str, tag_key: str) -> list[str]:
+        """Distinct live values of one tag key, across all shards."""
+        return self._catalog.tag_values(metric, tag_key)
 
     def suggest_tag_values(self, metric: str, tag_key: str) -> list[str]:
-        validate_name(tag_key, "tag key")
-        values: set[str] = set()
-        for sh in self._shards:
-            values.update(sh.suggest_tag_values(metric, tag_key))
-        return sorted(values)
+        return self._catalog.tag_values(metric, tag_key)
+
+    def cardinality(
+        self, metric: str, tags: Mapping[str, str] | None = None
+    ) -> int:
+        """Matching-series count summed over the (disjoint) shards."""
+        return self._catalog.cardinality(metric, tags)
 
     def last(
         self, metric: str, tags: Mapping[str, str] | None = None
@@ -246,6 +280,10 @@ class ShardedTSDB(StoreApi):
         does — the same validity signal the single store provides.
         """
         return sum(sh.metric_generation(metric) for sh in self._shards)
+
+    def catalog_generation(self) -> int:
+        """Series create/remove counter, summed over shards (monotonic)."""
+        return self._catalog.generation
 
     def series_latest(self, key: SeriesKey) -> tuple[int, float] | None:
         """Latest ``(timestamp, value)`` of one series, or None."""
@@ -618,10 +656,10 @@ class ShardedTSDB(StoreApi):
     # Internals shared with the single store's callers
     # ------------------------------------------------------------------
     def _match(self, metric: str, tags: Mapping[str, str]) -> list[SeriesKey]:
-        matched: list[SeriesKey] = []
-        for sh in self._shards:
-            matched.extend(sh._match(metric, tags))
-        return matched
+        """Matching series in canonical sorted order — the merged
+        catalog's per-shard postings matches, so the result list is
+        identical to the single store's for any shard count."""
+        return self._catalog.match(metric, tags)
 
     def __repr__(self) -> str:
         per_shard = ",".join(str(sh.series_count) for sh in self._shards)

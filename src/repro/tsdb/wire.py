@@ -51,6 +51,8 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from .catalog import CardinalityLimitError
+from .model import InvalidName
 from .plan import ExprQuery, ExprResult, QueryBuilder
 from .query import Query, QueryError, QueryResult
 
@@ -423,3 +425,216 @@ def handle_request(store, request: str | bytes | Mapping) -> dict:
         return encode_response(store.run_many(queries))
     except (WireError, QueryError) as exc:
         return encode_error(exc)
+
+
+# ---------------------------------------------------------------------------
+# Catalog (series metadata) requests
+# ---------------------------------------------------------------------------
+
+#: Catalog operations, mirroring OpenTSDB's ``/api/suggest`` family.
+CATALOG_OPS = ("metrics", "tag_keys", "tag_values", "cardinality")
+
+_CATALOG_ENVELOPE_FIELDS = {"version", "catalog"}
+_CATALOG_FIELDS = {"op", "metric", "key", "tags"}
+
+#: Which optional fields each op *requires* / *accepts* beyond ``op``.
+_CATALOG_SHAPE = {
+    "metrics": (frozenset(), frozenset()),
+    "tag_keys": (frozenset({"metric"}), frozenset({"metric"})),
+    "tag_values": (
+        frozenset({"metric", "key"}),
+        frozenset({"metric", "key"}),
+    ),
+    "cardinality": (
+        frozenset({"metric"}),
+        frozenset({"metric", "tags"}),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class CatalogRequest:
+    """One decoded catalog request.
+
+    ``tags`` is a canonically sorted tuple of pairs so the request is
+    hashable — the serving layer keys its catalog cache on
+    :meth:`cache_key` directly.
+    """
+
+    op: str
+    metric: str | None = None
+    key: str | None = None
+    tags: tuple[tuple[str, str], ...] = ()
+
+    def cache_key(self) -> tuple:
+        return (self.op, self.metric, self.key, self.tags)
+
+
+def encode_catalog_request(
+    op: str,
+    *,
+    metric: str | None = None,
+    key: str | None = None,
+    tags: Mapping[str, str] | None = None,
+) -> dict:
+    """A catalog operation as a versioned wire request dict.
+
+    .. code-block:: json
+
+        {"version": 1, "catalog": {"op": "tag_values",
+                                   "metric": "air.co2.ppm",
+                                   "key": "node"}}
+    """
+    body: dict = {"op": str(op)}
+    if metric is not None:
+        body["metric"] = str(metric)
+    if key is not None:
+        body["key"] = str(key)
+    if tags:
+        body["tags"] = {str(k): str(v) for k, v in sorted(tags.items())}
+    return {"version": WIRE_VERSION, "catalog": body}
+
+
+def decode_catalog_request(request: str | bytes | Mapping) -> CatalogRequest:
+    """A catalog wire request into a :class:`CatalogRequest` (strict).
+
+    Unknown fields, missing required fields, and fields that do not
+    belong to the op (``key`` on anything but ``tag_values``, ``tags``
+    anywhere but ``cardinality``) are all rejected loudly, same as the
+    query codec.
+    """
+    if isinstance(request, (str, bytes)):
+        try:
+            request = json.loads(request)
+        except json.JSONDecodeError as exc:
+            raise WireError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(request, Mapping):
+        raise WireError("request must be a JSON object")
+    version = request.get("version")
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"unsupported wire version {version!r} (this codec speaks "
+            f"{WIRE_VERSION})"
+        )
+    unknown = set(request) - _CATALOG_ENVELOPE_FIELDS
+    if unknown:
+        raise WireError(f"unknown request fields: {sorted(unknown)}")
+    body = request.get("catalog")
+    if not isinstance(body, Mapping):
+        raise WireError("'catalog' must be an object")
+    unknown = set(body) - _CATALOG_FIELDS
+    if unknown:
+        raise WireError(f"unknown catalog fields: {sorted(unknown)}")
+    op = body.get("op")
+    if op not in CATALOG_OPS:
+        raise WireError(
+            f"unknown catalog op {op!r} (expected one of {list(CATALOG_OPS)})"
+        )
+    required, allowed = _CATALOG_SHAPE[op]
+    present = set(body) - {"op"}
+    missing = required - present
+    if missing:
+        raise WireError(
+            f"catalog op {op!r} is missing required field"
+            f"{'s' if len(missing) > 1 else ''} {sorted(missing)}"
+        )
+    extra = present - allowed
+    if extra:
+        raise WireError(
+            f"catalog op {op!r} does not take field"
+            f"{'s' if len(extra) > 1 else ''} {sorted(extra)}"
+        )
+    metric = body.get("metric")
+    if metric is not None and not isinstance(metric, str):
+        raise WireError("'metric' must be a string")
+    key = body.get("key")
+    if key is not None and not isinstance(key, str):
+        raise WireError("'key' must be a string")
+    tags = body.get("tags", {})
+    if not isinstance(tags, Mapping):
+        raise WireError("'tags' must be an object of tag filters")
+    return CatalogRequest(
+        op=op,
+        metric=metric,
+        key=key,
+        tags=tuple(sorted((str(k), str(v)) for k, v in tags.items())),
+    )
+
+
+def execute_catalog_request(store, req: CatalogRequest) -> dict:
+    """Answer a decoded catalog request against a store.
+
+    Echoes the operation's identifying fields so a pipelined client can
+    correlate replies without trusting line order.  Raises
+    (:class:`InvalidName` on a malformed tag key, for example) — the
+    caller decides between :func:`encode_error` and propagation.
+    """
+    body: dict = {"op": req.op}
+    if req.op == "metrics":
+        body["values"] = store.metrics()
+    elif req.op == "tag_keys":
+        body["metric"] = req.metric
+        body["values"] = store.tag_keys(req.metric)
+    elif req.op == "tag_values":
+        body["metric"] = req.metric
+        body["key"] = req.key
+        body["values"] = store.tag_values(req.metric, req.key)
+    else:  # cardinality
+        body["metric"] = req.metric
+        if req.tags:
+            body["tags"] = dict(req.tags)
+        body["count"] = store.cardinality(req.metric, dict(req.tags) or None)
+    return {"version": WIRE_VERSION, "catalog": body}
+
+
+def handle_catalog_request(store, request: str | bytes | Mapping) -> dict:
+    """Decode a catalog wire request, execute it, encode the reply.
+
+    The catalog twin of :func:`handle_request`: never raises for a bad
+    request — malformed envelopes, invalid names, and guard-rail
+    rejections come back as versioned error responses.
+    """
+    try:
+        req = decode_catalog_request(request)
+        return execute_catalog_request(store, req)
+    except (WireError, QueryError, InvalidName, CardinalityLimitError) as exc:
+        return encode_error(exc)
+
+
+def decode_catalog_response(response: str | bytes | Mapping) -> list | int:
+    """A catalog wire response into its payload (client side).
+
+    Returns the ``values`` list for the listing ops or the ``count``
+    integer for ``cardinality``; an in-band error response raises
+    :class:`RemoteQueryError` exactly like :func:`decode_response`.
+    """
+    if isinstance(response, (str, bytes)):
+        try:
+            response = json.loads(response)
+        except json.JSONDecodeError as exc:
+            raise WireError(f"response is not valid JSON: {exc}") from None
+    if not isinstance(response, Mapping):
+        raise WireError("response must be a JSON object")
+    if response.get("version") != WIRE_VERSION:
+        raise WireError(
+            f"unsupported wire version {response.get('version')!r}"
+        )
+    error = response.get("error")
+    if error is not None:
+        if not isinstance(error, Mapping):
+            raise WireError("'error' must be an object")
+        raise RemoteQueryError(
+            str(error.get("type", "Error")), str(error.get("message", ""))
+        )
+    body = response.get("catalog")
+    if not isinstance(body, Mapping):
+        raise WireError("catalog response must carry a 'catalog' object")
+    if "count" in body:
+        count = body["count"]
+        if isinstance(count, bool) or not isinstance(count, int):
+            raise WireError(f"'count' must be an integer, got {count!r}")
+        return count
+    values = body.get("values")
+    if not isinstance(values, Sequence) or isinstance(values, (str, bytes)):
+        raise WireError("catalog response needs 'values' or 'count'")
+    return [str(v) for v in values]

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -51,3 +53,37 @@ class TestCommands:
         main(["run", "--city", "vejle", "--hours", "1", "--seed", "3"])
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestCatalogCommand:
+    def test_metrics_listing(self, capsys):
+        assert main(["catalog", "--city", "vejle", "--hours", "1"]) == 0
+        reply = json.loads(capsys.readouterr().out)
+        assert reply["catalog"]["op"] == "metrics"
+        assert "air.co2.ppm" in reply["catalog"]["values"]
+
+    def test_tag_values_and_cardinality(self, capsys):
+        assert main(["catalog", "--city", "vejle", "--hours", "1",
+                     "--metric", "air.co2.ppm", "--key", "city"]) == 0
+        reply = json.loads(capsys.readouterr().out)
+        assert reply["catalog"]["values"] == ["vejle"]
+        assert main(["catalog", "--city", "vejle", "--hours", "1",
+                     "--metric", "air.co2.ppm", "--cardinality",
+                     "--tags", "node=*"]) == 0
+        reply = json.loads(capsys.readouterr().out)
+        assert reply["catalog"]["count"] > 0
+
+    def test_flag_validation(self):
+        with pytest.raises(SystemExit):
+            main(["catalog", "--key", "node"])  # --key needs --metric
+        with pytest.raises(SystemExit):
+            main(["catalog", "--metric", "m", "--key", "k",
+                  "--cardinality"])  # exclusive
+        with pytest.raises(SystemExit):
+            main(["catalog", "--metric", "m", "--tags", "a=b"])  # no op
+
+    def test_in_band_error_exits_nonzero(self, capsys):
+        assert main(["catalog", "--city", "vejle", "--hours", "1",
+                     "--metric", "air.co2.ppm", "--key", "bad|key"]) == 1
+        reply = json.loads(capsys.readouterr().out)
+        assert reply["error"]["type"] == "InvalidName"

@@ -411,3 +411,92 @@ def _bad_version_request(self, queries, *, refresh=False):
     self.connect()
     self._sock.sendall(line)
     return json.loads(self._file.readline())
+
+
+class TestCatalogService:
+    """The series-metadata surface, end to end over TCP."""
+
+    def test_catalog_over_the_wire(self, store):
+        with live_server(store) as server:
+            with QueryClient(*server.address) as c:
+                assert c.catalog("metrics") == ["air.co2.ppm"]
+                assert c.catalog("tag_keys", metric="air.co2.ppm") == [
+                    "city", "node"]
+                assert c.catalog(
+                    "tag_values", metric="air.co2.ppm", key="node"
+                ) == ["a", "b"]
+                assert c.catalog(
+                    "cardinality", metric="air.co2.ppm",
+                    tags={"node": "*"},
+                ) == 2
+                assert c.catalog("tag_keys", metric="no.such.metric") == []
+
+    def test_catalog_cache_hits_then_invalidates(self, store):
+        with live_server(store) as server:
+            with QueryClient(*server.address) as c:
+                for _ in range(3):
+                    assert c.catalog(
+                        "tag_values", metric="air.co2.ppm", key="node"
+                    ) == ["a", "b"]
+                stats = server.stats()["catalog_cache"]
+                assert stats["hits"] == 2 and stats["misses"] == 1
+                # A new series under the metric moves its generation:
+                # the cached answer must be dropped, not served stale.
+                store.put("air.co2.ppm", 0, 400.0,
+                          {"node": "z", "city": "trondheim"})
+                assert c.catalog(
+                    "tag_values", metric="air.co2.ppm", key="node"
+                ) == ["a", "b", "z"]
+                assert server.stats()["catalog_cache"]["invalidated"] == 1
+
+    def test_whole_catalog_answers_track_any_metric_change(self, store):
+        with live_server(store) as server:
+            with QueryClient(*server.address) as c:
+                assert c.catalog("metrics") == ["air.co2.ppm"]
+                store.put("weather.temperature.c", 0, 3.0, {"city": "x"})
+                assert c.catalog("metrics") == [
+                    "air.co2.ppm", "weather.temperature.c"]
+
+    def test_malformed_catalog_request_answered_in_band(self, store):
+        with live_server(store) as server:
+            (reply,) = _raw_exchange(
+                server.address,
+                json.dumps({"version": wire.WIRE_VERSION,
+                            "catalog": {"op": "nope"}}) + "\n",
+            )
+            assert reply["error"]["type"] == "WireError"
+            # ... and the connection stays usable afterwards.
+            with QueryClient(*server.address) as c:
+                assert c.catalog("metrics") == ["air.co2.ppm"]
+
+    def test_max_match_series_guards_queries(self, store):
+        with live_server(store, max_match_series=1) as server:
+            with QueryClient(*server.address) as c:
+                wide = Query("air.co2.ppm", 0, 4000, tags={"node": "*"})
+                with pytest.raises(wire.RemoteQueryError) as err:
+                    c.run(wide)
+                assert err.value.error_type == "CardinalityLimitError"
+                assert "matches 2 series" in err.value.message
+                # Narrow queries under the limit still execute.
+                got = c.run(Query("air.co2.ppm", 0, 4000,
+                                  tags={"node": "a"}))
+                assert len(got.series) == 1
+                # The guard also covers expression operands.
+                from repro.tsdb import expr
+                e = expr("a + b",
+                         a=Query("air.co2.ppm", 0, 4000,
+                                 tags={"node": "*"}),
+                         b=Query("air.co2.ppm", 0, 4000,
+                                 tags={"node": "a"}))
+                with pytest.raises(wire.RemoteQueryError) as err:
+                    c.run(e)
+                assert err.value.error_type == "CardinalityLimitError"
+
+    def test_ingest_guard_error_type_matches_wire_contract(self):
+        # The ingest-side guard raises the same error type the server
+        # reports, so clients key on one name for both guard-rails.
+        limited = _seeded(TSDB(max_tag_values=2))
+        with pytest.raises(Exception) as err:
+            limited.put("air.co2.ppm", 0, 1.0,
+                        {"node": "c", "city": "trondheim"})
+        assert type(err.value).__name__ == "CardinalityLimitError"

@@ -294,12 +294,12 @@ class TestDeleteBeforeIndexPrune:
         dropped = db.delete_before(500)
         assert dropped == 50
         assert db.metrics() == ["kept.metric"]
-        # The leak: empty buckets used to linger forever under churn.
-        assert "churn.metric" not in db._by_metric
-        assert all(bucket for bucket in db._by_metric.values())
-        assert all(bucket for bucket in db._by_tag.values())
-        assert ("node", "n0") not in db._by_tag
-        assert ("node", "survivor") in db._by_tag
+        # The leak: empty postings used to linger forever under churn.
+        assert db.catalog.tag_keys("churn.metric") == []
+        assert db.catalog.cardinality("churn.metric") == 0
+        assert "n0" not in db.catalog.tag_values("churn.metric", "node")
+        assert db.catalog.tag_values("kept.metric", "node") == ["survivor"]
+        assert len(db.catalog) == 1
 
     def test_index_still_works_after_prune_and_rewrite(self):
         db = TSDB()
@@ -315,4 +315,4 @@ class TestDeleteBeforeIndexPrune:
         db.put("m", 1, 1.0, {"node": "a"})
         db.delete_before(100, exclude_suffix=".rollup")
         assert db.metrics() == ["m.rollup"]
-        assert ("node", "a") in db._by_tag
+        assert db.catalog.tag_values("m.rollup", "node") == ["a"]

@@ -345,3 +345,118 @@ class TestErrorResponses:
         response = handle_request(db, wire.request_to_json(qs))
         assert "error" not in response
         assert wire.decode_response(response)
+
+
+class TestCatalogCodec:
+    @pytest.fixture
+    def db(self):
+        db = TSDB()
+        for node in ("a", "b", "c"):
+            db.put("air.co2.ppm", 10, 400.0,
+                   {"node": node, "city": "trondheim"})
+        db.put("weather.temperature.c", 10, 3.0, {"city": "vejle"})
+        return db
+
+    @pytest.mark.parametrize("op,kwargs", [
+        ("metrics", {}),
+        ("tag_keys", {"metric": "air.co2.ppm"}),
+        ("tag_values", {"metric": "air.co2.ppm", "key": "node"}),
+        ("cardinality", {"metric": "air.co2.ppm"}),
+        ("cardinality", {"metric": "air.co2.ppm",
+                         "tags": {"node": "a|b", "city": "*"}}),
+    ])
+    def test_request_round_trip(self, op, kwargs):
+        encoded = wire.encode_catalog_request(op, **kwargs)
+        req = wire.decode_catalog_request(json.dumps(encoded))
+        assert req.op == op
+        assert req.metric == kwargs.get("metric")
+        assert req.key == kwargs.get("key")
+        assert dict(req.tags) == kwargs.get("tags", {})
+
+    def test_handle_answers_from_store(self, db):
+        r = wire.handle_catalog_request(
+            db, wire.encode_catalog_request("metrics"))
+        assert wire.decode_catalog_response(r) == [
+            "air.co2.ppm", "weather.temperature.c"]
+        r = wire.handle_catalog_request(
+            db,
+            wire.encode_catalog_request(
+                "tag_values", metric="air.co2.ppm", key="node"),
+        )
+        assert wire.decode_catalog_response(r) == ["a", "b", "c"]
+        r = wire.handle_catalog_request(
+            db,
+            wire.encode_catalog_request(
+                "cardinality", metric="air.co2.ppm", tags={"node": "a|b"}),
+        )
+        assert wire.decode_catalog_response(r) == 2
+
+    def test_response_echoes_identifying_fields(self, db):
+        r = wire.handle_catalog_request(
+            db,
+            wire.encode_catalog_request(
+                "tag_values", metric="air.co2.ppm", key="node"),
+        )
+        assert r["catalog"]["op"] == "tag_values"
+        assert r["catalog"]["metric"] == "air.co2.ppm"
+        assert r["catalog"]["key"] == "node"
+        assert json.loads(json.dumps(r, allow_nan=False)) == r
+
+    @pytest.mark.parametrize("request_obj,fragment", [
+        ({"version": 99, "catalog": {"op": "metrics"}}, "version"),
+        ({"version": WIRE_VERSION}, "'catalog' must be an object"),
+        ({"version": WIRE_VERSION, "catalog": {"op": "nope"}},
+         "unknown catalog op"),
+        ({"version": WIRE_VERSION, "catalog": {"op": "metrics"},
+          "extra": 1}, "unknown request fields"),
+        ({"version": WIRE_VERSION,
+          "catalog": {"op": "metrics", "bogus": 1}},
+         "unknown catalog fields"),
+        ({"version": WIRE_VERSION, "catalog": {"op": "tag_keys"}},
+         "missing required field"),
+        ({"version": WIRE_VERSION, "catalog": {"op": "tag_values",
+                                               "metric": "m"}},
+         "missing required field"),
+        ({"version": WIRE_VERSION,
+          "catalog": {"op": "metrics", "metric": "m"}},
+         "does not take field"),
+        ({"version": WIRE_VERSION,
+          "catalog": {"op": "tag_keys", "metric": "m", "tags": {}}},
+         "does not take field"),
+        ({"version": WIRE_VERSION,
+          "catalog": {"op": "cardinality", "metric": "m", "tags": 3}},
+         "'tags' must be an object"),
+        ({"version": WIRE_VERSION,
+          "catalog": {"op": "tag_keys", "metric": 5}},
+         "'metric' must be a string"),
+    ])
+    def test_strict_decode_rejections(self, request_obj, fragment):
+        with pytest.raises(WireError) as err:
+            wire.decode_catalog_request(request_obj)
+        assert fragment in str(err.value)
+
+    def test_handle_answers_errors_in_band(self, db):
+        r = wire.handle_catalog_request(db, "{not json")
+        assert r["error"]["type"] == "WireError"
+        r = wire.handle_catalog_request(
+            db,
+            wire.encode_catalog_request(
+                "tag_values", metric="air.co2.ppm", key="bad|key"),
+        )
+        assert r["error"]["type"] == "InvalidName"
+        with pytest.raises(RemoteQueryError) as err:
+            wire.decode_catalog_response(r)
+        assert err.value.error_type == "InvalidName"
+
+    def test_decode_response_strictness(self):
+        with pytest.raises(WireError):
+            wire.decode_catalog_response({"version": 99})
+        with pytest.raises(WireError):
+            wire.decode_catalog_response(
+                {"version": WIRE_VERSION, "catalog": []})
+        with pytest.raises(WireError):
+            wire.decode_catalog_response(
+                {"version": WIRE_VERSION, "catalog": {"values": "oops"}})
+        with pytest.raises(WireError):
+            wire.decode_catalog_response(
+                {"version": WIRE_VERSION, "catalog": {"count": True}})
