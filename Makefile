@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-sharded test-region test-persist test-query test-catalog serve-test bench bench-sharded bench-region bench-persist bench-query bench-serve bench-catalog lint
+.PHONY: test test-sharded test-region test-persist test-query test-catalog test-replication serve-test bench bench-sharded bench-region bench-persist bench-query bench-serve bench-catalog bench-replication lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -37,6 +37,13 @@ serve-test:
 test-catalog:
 	$(PYTHON) -m pytest -q tests/test_tsdb_catalog.py tests/test_tsdb_wire.py tests/test_serve.py
 
+# The replication gate: a promoted follower byte-identical to a
+# from-scratch build of the acknowledged input under seeded fault
+# injection (disconnects, dup/reorder, torn tails, bit flips), plus the
+# live two-process SIGUSR1 failover drill.
+test-replication:
+	$(PYTHON) -m pytest -q tests/test_replication.py
+
 bench:
 	$(PYTHON) -m pytest -q benchmarks/test_ingest_throughput.py -s
 
@@ -67,6 +74,12 @@ bench-serve:
 # the >=5x indexed speedup and records the catalog section.
 bench-catalog:
 	$(PYTHON) -m pytest -q benchmarks/test_catalog.py -s
+
+# Steady-state replication lag, catch-up replay throughput, and
+# promote-to-first-query failover time; gates catch-up >= 5x live
+# ingest and records the replication section.
+bench-replication:
+	$(PYTHON) -m pytest -q benchmarks/test_replication_throughput.py -s
 
 lint:
 	$(PYTHON) -m ruff check src/

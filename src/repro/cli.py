@@ -16,6 +16,12 @@ the system without writing code:
   ``--connect``, a running query server;
 - ``serve``       — simulate a city, then serve its store over the
   asyncio TCP query service (newline-delimited JSON wire requests);
+  SIGTERM drains admitted requests before exiting, and
+  ``--replicate-to HOST:PORT`` ships every committed write to a
+  follower;
+- ``follow``      — run a hot-standby replica: apply shipped segment
+  blocks into a local store, promote to a read-write primary on
+  SIGUSR1 (optionally serving queries), shut down cleanly on SIGTERM;
 - ``convert-log`` — migrate a WAL/snapshot between the text line
   protocol and binary columnar segments.
 """
@@ -200,14 +206,14 @@ def _flag_queries(args: argparse.Namespace, start: int, end: int) -> list:
         raise SystemExit(f"query: {exc}")
 
 
-def _parse_connect(spec: str) -> tuple[str, int]:
+def _parse_connect(spec: str, *, flag: str = "--connect") -> tuple[str, int]:
     host, sep, port = spec.rpartition(":")
     if not sep or not host:
-        raise SystemExit(f"query: bad --connect {spec!r}; expected HOST:PORT")
+        raise SystemExit(f"bad {flag} {spec!r}; expected HOST:PORT")
     try:
         return host, int(port)
     except ValueError:
-        raise SystemExit(f"query: bad --connect port {port!r}")
+        raise SystemExit(f"bad {flag} port {port!r}")
 
 
 def cmd_query(args: argparse.Namespace) -> int:
@@ -336,20 +342,40 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     The simulated window is the data set; clients query it with
     absolute timestamps (the bound window is printed on startup).
-    Runs until interrupted.
+    Runs until SIGTERM/SIGINT, then *drains*: admitted requests are
+    answered, new ones refused, and only then does the process exit.
+
+    With ``--replicate-to HOST:PORT`` the store is wrapped in a
+    :class:`~repro.replication.ReplicatedStore` and a shipper streams
+    its history (bootstrapped from a binary snapshot of the simulated
+    window) plus any later writes to a ``repro follow`` standby.
     """
     import asyncio
+    import io
+    import signal
 
     from .serve import QueryServer, TenantPolicy
 
     eco, city = _build(args.city, args.hours, args.seed, args.shards)
+    store = city.db
+    replicate_to = None
+    if args.replicate_to:
+        from .replication import ReplicatedStore, ReplicationLog
+        from .tsdb import dumps
+
+        replicate_to = _parse_connect(args.replicate_to, flag="--replicate-to")
+        log = ReplicationLog()
+        # The simulated history predates the tee: bootstrap the log from
+        # a binary snapshot so the follower converges on the full store.
+        log.append_segment(io.BytesIO(dumps(store, format="binary")))
+        store = ReplicatedStore(store, log)
     policy = TenantPolicy(
         max_pending=args.max_pending,
         backpressure=args.backpressure,
         parallelism=args.parallelism,
     )
     server = QueryServer(
-        city.db,
+        store,
         host=args.host,
         port=args.port,
         default_policy=policy,
@@ -358,17 +384,104 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
 
     async def _main() -> None:
+        shipper = None
+        if replicate_to is not None:
+            from .replication import SegmentShipper
+
+            shipper = SegmentShipper(store.log, *replicate_to)
+            shipper.start()
         host, port = await server.start()
         start = eco.now - args.hours * HOUR
         print(f"serving {args.city} on {host}:{port} "
               f"(window {start}..{eco.now}, backpressure: "
               f"{policy.backpressure.value})", flush=True)
-        await server.serve_forever()
+        if replicate_to is not None:
+            print(f"replicating to {replicate_to[0]}:{replicate_to[1]}",
+                  flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        print("draining...", flush=True)
+        await server.stop(timeout=10.0)
+        if shipper is not None:
+            await shipper.stop()
 
     try:
         asyncio.run(_main())
-    except KeyboardInterrupt:
-        print("\nbye")
+    except KeyboardInterrupt:  # pragma: no cover - pre-handler interrupt
+        pass
+    print("bye")
+    return 0
+
+
+def cmd_follow(args: argparse.Namespace) -> int:
+    """Run a hot-standby replica of a replicating primary.
+
+    Listens for shipper connections (``repro serve --replicate-to`` or
+    any :class:`~repro.replication.SegmentShipper`) and applies records
+    into a local single or sharded store.  Signals drive the lifecycle:
+
+    - ``SIGUSR1`` — promote: stop replicating, optionally write a
+      binary snapshot (``--snapshot-on-promote``), and, with
+      ``--serve-port``, serve the store over the standard query
+      endpoint — the failover path;
+    - ``SIGTERM``/``SIGINT`` — shut down cleanly (draining the query
+      server first when promoted).
+    """
+    import asyncio
+    import signal
+
+    from .replication import Follower
+
+    host, port = _parse_connect(args.listen, flag="--listen")
+    follower = Follower(host=host, port=port, shards=args.shards)
+
+    async def _main() -> None:
+        fh, fp = await follower.start()
+        print(f"following on {fh}:{fp}", flush=True)
+        loop = asyncio.get_running_loop()
+        promote = asyncio.Event()
+        term = asyncio.Event()
+        loop.add_signal_handler(signal.SIGUSR1, promote.set)
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, term.set)
+        promote_wait = asyncio.ensure_future(promote.wait())
+        term_wait = asyncio.ensure_future(term.wait())
+        try:
+            await asyncio.wait(
+                {promote_wait, term_wait}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if not promote.is_set():
+                await follower.stop()
+                return
+            store = follower.promote()
+            await follower.stop()
+            print(f"promoted at seq {follower.applied_seq} "
+                  f"({follower.stats.points_applied} points applied)",
+                  flush=True)
+            if args.snapshot_on_promote:
+                from .tsdb import snapshot
+
+                n = snapshot(store, args.snapshot_on_promote, format="binary")
+                print(f"snapshot: {n} points -> {args.snapshot_on_promote}",
+                      flush=True)
+            if args.serve_port is not None:
+                from .serve import QueryServer
+
+                server = QueryServer(store, host=fh, port=args.serve_port)
+                sh, sp = await server.start()
+                print(f"serving on {sh}:{sp}", flush=True)
+                await term.wait()
+                print("draining...", flush=True)
+                await server.stop(timeout=10.0)
+        finally:
+            for waiter in (promote_wait, term_wait):
+                waiter.cancel()
+
+    asyncio.run(_main())
+    print("bye")
     return 0
 
 
@@ -556,7 +669,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-match-series", type=int, default=None, metavar="N",
         help="reject queries whose tag filter matches more than N series "
              "(default: unlimited)")
+    p_serve.add_argument(
+        "--replicate-to", default=None, metavar="HOST:PORT",
+        help="ship the store (snapshot bootstrap + live writes) to a "
+             "'repro follow' hot standby at this address")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_follow = sub.add_parser(
+        "follow",
+        help="run a hot-standby replica; SIGUSR1 promotes it to primary",
+    )
+    p_follow.add_argument(
+        "--listen", default="127.0.0.1:4252", metavar="HOST:PORT",
+        help="address to accept shipper connections on "
+             "(port 0 = ephemeral; default: 127.0.0.1:4252)")
+    p_follow.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="apply into a sharded store with N shards (0 = single store)")
+    p_follow.add_argument(
+        "--serve-port", type=int, default=None, metavar="PORT",
+        help="after promotion, serve queries on this port (0 = ephemeral)")
+    p_follow.add_argument(
+        "--snapshot-on-promote", default=None, metavar="PATH",
+        help="write a binary snapshot of the promoted store to PATH")
+    p_follow.set_defaults(func=cmd_follow)
 
     p_conv = sub.add_parser(
         "convert-log",

@@ -193,6 +193,18 @@ class AsyncBatchQueue:
         """Everything a drain could still deliver (memory + spill)."""
         return self._depth + self._spill_pending
 
+    def spill_files(self) -> tuple[Path, ...]:
+        """Paths of pending spill segments, oldest first.
+
+        Spill segments are ordinary segment files, so they double as a
+        replication source: a
+        :meth:`~repro.replication.ReplicationLog.append_segment` per
+        path ships a lane's parked backlog to a follower without
+        draining it locally first.  The paths remain owned by this
+        queue — a later drain still consumes (and deletes) them.
+        """
+        return tuple(path for path, _ in self._spill_segments)
+
     def is_empty(self) -> bool:
         return self.backlog_points == 0
 

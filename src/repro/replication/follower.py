@@ -1,0 +1,248 @@
+"""The follower: applies shipped records into its own store, idempotently.
+
+A :class:`Follower` is the hot standby half of the pair: it listens for
+shipper connections, answers the handshake with its applied high-water
+mark (so the shipper resumes exactly where the follower left off), and
+applies records **strictly in sequence**:
+
+- ``seq <= applied``  → duplicate from an at-least-once resend: ack it
+  again, apply nothing (the dedup that makes replay idempotent —
+  re-applying a batch after a later ``delete_before`` would resurrect
+  deleted points, so "apply once, in order" is the only safe rule);
+- ``seq == applied+1`` → validate the framed block (same CRC the WAL
+  reader uses), apply it, advance, ack;
+- ``seq >  applied+1`` → a gap: something upstream reordered or dropped
+  a record.  The follower drops the connection; the shipper reconnects
+  and catch-up replay heals the hole.  Likewise for a corrupt frame.
+
+``promote()`` turns the standby into a primary: the listener closes,
+in-flight connections stop applying, and the store — byte-identical to
+the acknowledged prefix of the primary's history — is handed to the
+caller to serve reads and writes (``python -m repro follow`` wires it
+straight into a :class:`~repro.serve.server.QueryServer`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import struct
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..tsdb.batch import PointBatch
+from ..tsdb.database import TSDB
+from ..tsdb.segments import (
+    DeleteBefore,
+    DeleteSeriesBefore,
+    SegmentCorruption,
+    decode_block,
+    decode_frame,
+)
+from ..tsdb.sharded import ShardedTSDB
+from .shipper import MAX_RECORD_BYTES, REPLICATION_MAGIC
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..tsdb.interface import TimeSeriesStore
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+@dataclass
+class FollowerStats:
+    connections: int = 0
+    bad_handshakes: int = 0
+    records_applied: int = 0
+    points_applied: int = 0
+    duplicates: int = 0
+    gaps: int = 0
+    corrupt_frames: int = 0
+    torn_tails: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class Follower:
+    """Hot-standby replica: one listening socket, one store, one cursor.
+
+    ``store`` defaults to a fresh single :class:`TSDB`; pass ``shards``
+    to build a :class:`ShardedTSDB` instead (the follower applies the
+    same blocks either way — the store protocol hides the layout, and
+    the equivalence suite pins both byte-identical to the primary).
+    """
+
+    store: "TimeSeriesStore | None" = None
+    host: str = "127.0.0.1"
+    port: int = 0
+    shards: int = 0
+    stats: FollowerStats = field(default_factory=FollowerStats)
+
+    def __post_init__(self) -> None:
+        if self.store is None:
+            self.store = ShardedTSDB(self.shards) if self.shards else TSDB()
+        elif self.shards:
+            raise ValueError("pass store= or shards=, not both")
+        self.applied_seq = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._handlers: set[asyncio.Task] = set()
+        self._promoted = False
+        self._applied_wake: asyncio.Event | None = None
+
+    @property
+    def promoted(self) -> bool:
+        return self._promoted
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and listen; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("follower already started")
+        self._applied_wake = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        """Close the listener and every live replication connection."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            with contextlib.suppress(Exception):
+                await server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+        # Closing the transports unblocks any pending read; wait for the
+        # handlers so no task outlives the follower into loop teardown.
+        if self._handlers:
+            await asyncio.gather(*list(self._handlers), return_exceptions=True)
+
+    def promote(self) -> "TimeSeriesStore":
+        """Become the primary: stop accepting replication traffic and
+        hand back the store.
+
+        Synchronous and idempotent on purpose — it must be callable from
+        a signal handler.  Connections mid-record finish their socket
+        reads but apply nothing further; the store stops changing the
+        moment this returns.
+        """
+        self._promoted = True
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._writers):
+            writer.close()
+        assert self.store is not None
+        return self.store
+
+    async def wait_applied(self, seq: int, timeout: float | None = None) -> None:
+        """Await the applied high-water mark reaching ``seq``."""
+        assert self._applied_wake is not None, "follower not started"
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        while self.applied_seq < seq:
+            if deadline is not None and loop.time() >= deadline:
+                raise TimeoutError(
+                    f"applied {self.applied_seq} < {seq} after {timeout}s"
+                )
+            self._applied_wake.clear()
+            if self.applied_seq >= seq:
+                break
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self._applied_wake.wait(), 0.05)
+
+    # -- one replication connection --------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        self._writers.add(writer)
+        try:
+            try:
+                magic = await reader.readexactly(len(REPLICATION_MAGIC))
+            except asyncio.IncompleteReadError:
+                self.stats.bad_handshakes += 1
+                return
+            if magic != REPLICATION_MAGIC or self._promoted:
+                self.stats.bad_handshakes += 1
+                return
+            self.stats.connections += 1
+            writer.write(_U64.pack(self.applied_seq))
+            await writer.drain()
+            await self._apply_loop(reader, writer)
+        except (ConnectionError, OSError):
+            pass  # peer vanished; the shipper will reconnect
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _apply_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while not self._promoted:
+            try:
+                (length,) = _U32.unpack(await reader.readexactly(4))
+                if length < 8 or length > MAX_RECORD_BYTES:
+                    self.stats.corrupt_frames += 1
+                    return  # framing is unrecoverable; force a reconnect
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                if exc.partial:
+                    # A record cut mid-frame: the torn-tail of the wire.
+                    self.stats.torn_tails += 1
+                return
+            (seq,) = _U64.unpack_from(body, 0)
+            frame = body[8:]
+            if seq <= self.applied_seq:
+                # At-least-once resend; ack so the shipper's window and
+                # retained log advance even when nothing applies.
+                self.stats.duplicates += 1
+                writer.write(_U64.pack(self.applied_seq))
+                await writer.drain()
+                continue
+            if seq != self.applied_seq + 1:
+                # A gap: never apply out of order — drop the connection
+                # and let catch-up replay refill from applied_seq.
+                self.stats.gaps += 1
+                return
+            try:
+                block_type, payload = decode_frame(frame)
+                item = decode_block(block_type, payload)
+            except (SegmentCorruption, ValueError):
+                self.stats.corrupt_frames += 1
+                return  # same healing path as a gap
+            if self._promoted:  # promotion raced the decode: apply nothing
+                return
+            self._apply(item)
+            self.applied_seq = seq
+            self.stats.records_applied += 1
+            if self._applied_wake is not None:
+                self._applied_wake.set()
+            writer.write(_U64.pack(self.applied_seq))
+            await writer.drain()
+
+    def _apply(self, item) -> None:
+        assert self.store is not None
+        if isinstance(item, PointBatch):
+            self.store.put_batch(item)
+            self.stats.points_applied += len(item)
+        elif isinstance(item, DeleteSeriesBefore):
+            self.store.delete_series_before(item.key, item.cutoff)
+        elif isinstance(item, DeleteBefore):
+            self.store.delete_before(
+                item.cutoff, exclude_suffix=item.exclude_suffix
+            )
+        # Comments decode to None and apply as nothing (but still ack).
+
+
+__all__ = ["Follower", "FollowerStats"]

@@ -1,0 +1,281 @@
+"""The replication log: a sequence-numbered tee on the durability path.
+
+Every committed write — ``put_batch``, ``delete_before``,
+``delete_series_before`` — appends one *framed segment block* (the
+exact bytes :mod:`repro.tsdb.segments` would put on disk) tagged with a
+monotonically increasing sequence number.  The log is the single source
+of truth for the shipper: records are retained until the follower
+acknowledges them, so any disconnect can be healed by re-sending from
+the follower's acked high-water mark.
+
+Two pieces live here:
+
+- :class:`ReplicationLog` — the thread-safe record buffer itself, with
+  ``ack``/``pending_after`` for the shipper and a listener hook so a
+  synchronous writer thread can wake the asyncio shipper loop;
+- :class:`ReplicatedStore` — a store wrapper (same idiom as
+  :class:`~repro.serve.cache.CachingStore`) that commits each mutation
+  to the wrapped store first, then appends the matching block, under
+  one lock so log order always equals commit order.
+
+Using framed blocks as the record payload means the wire format *is*
+the durability format: the follower validates each record with the same
+CRC the WAL reader uses, and a drained region spill segment
+(``spill-<seq>.seg``) can be teed wholesale via :meth:`append_segment`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
+
+from ..tsdb.batch import PointBatch
+from ..tsdb.interface import StoreApi
+from ..tsdb.model import DataPoint, SeriesKey
+from ..tsdb.segments import (
+    BLOCK_BATCH,
+    BLOCK_MARKER,
+    DeleteBefore,
+    DeleteSeriesBefore,
+    encode_batch,
+    encode_marker,
+    frame_block,
+    iter_segments,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import asyncio
+
+    from ..tsdb.interface import TimeSeriesStore
+
+
+class ReplicationLog:
+    """Thread-safe buffer of ``(seq, framed-block)`` records.
+
+    Sequence numbers start at 1 and are contiguous; ``acked_seq`` is the
+    floor below which records have been acknowledged by the follower and
+    dropped.  ``pending_after`` serves the shipper's cursor reads in
+    O(result) thanks to the contiguity (seq → list index is arithmetic,
+    not a scan).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[tuple[int, bytes]] = []
+        self._next = 1
+        self._acked = 0
+        self._listeners: list[tuple["asyncio.AbstractEventLoop", "asyncio.Event"]] = []
+        self.appended_records = 0
+        self.appended_points = 0
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        """Highest sequence number ever appended (0 when empty)."""
+        return self._next - 1
+
+    @property
+    def acked_seq(self) -> int:
+        """Highest sequence number the follower has acknowledged."""
+        return self._acked
+
+    def __len__(self) -> int:
+        """Records retained (appended but not yet acknowledged)."""
+        return len(self._records)
+
+    # -- append side (called from writer threads) ------------------------
+    def append_block(self, block_type: int, payload: bytes) -> int:
+        """Frame and append one block; returns its sequence number."""
+        return self._append(frame_block(block_type, payload))
+
+    def append_batch(self, batch: PointBatch) -> int:
+        """Append a batch block; empty batches append nothing (returns
+        the current ``last_seq``) so replay stays free of no-op records."""
+        if not len(batch):
+            return self.last_seq
+        seq = self.append_block(BLOCK_BATCH, encode_batch(batch))
+        self.appended_points += len(batch)
+        return seq
+
+    def append_delete_before(
+        self, cutoff: int, *, exclude_suffix: str | None = None
+    ) -> int:
+        return self.append_block(
+            BLOCK_MARKER, encode_marker(DeleteBefore(int(cutoff), exclude_suffix))
+        )
+
+    def append_delete_series_before(self, key: SeriesKey, cutoff: int) -> int:
+        return self.append_block(
+            BLOCK_MARKER, encode_marker(DeleteSeriesBefore(key, int(cutoff)))
+        )
+
+    def append_segment(self, source, *, strict: bool = True) -> int:
+        """Tee an existing segment file (e.g. a region lane's
+        ``spill-<seq>.seg``) into the log, block by block; returns the
+        number of records appended.  Blocks are re-framed from their
+        decoded form, so a legacy text spill replays identically and a
+        lenient read (``strict=False``) skips damaged blocks exactly as
+        a local drain would.
+        """
+        appended = 0
+        for item in iter_segments(source, strict=strict):
+            if isinstance(item, PointBatch):
+                self.append_batch(item)
+            elif isinstance(item, DeleteSeriesBefore):
+                self.append_delete_series_before(item.key, item.cutoff)
+            else:
+                self.append_delete_before(
+                    item.cutoff, exclude_suffix=item.exclude_suffix
+                )
+            appended += 1
+        return appended
+
+    def _append(self, frame: bytes) -> int:
+        with self._lock:
+            seq = self._next
+            self._next += 1
+            self._records.append((seq, frame))
+            self.appended_records += 1
+            listeners = list(self._listeners)
+        for loop, event in listeners:
+            loop.call_soon_threadsafe(event.set)
+        return seq
+
+    # -- ship side (called from the shipper's event loop) ----------------
+    def ack(self, seq: int) -> None:
+        """Acknowledge every record up to ``seq``; they are dropped."""
+        with self._lock:
+            if seq <= self._acked:
+                return
+            self._acked = seq
+            if self._records:
+                first = self._records[0][0]
+                drop = min(len(self._records), seq + 1 - first)
+                if drop > 0:
+                    del self._records[:drop]
+
+    def pending_after(
+        self, seq: int, *, limit: int | None = None
+    ) -> list[tuple[int, bytes]]:
+        """Records with sequence number > ``seq``, oldest first."""
+        with self._lock:
+            if not self._records:
+                return []
+            first = self._records[0][0]
+            start = max(0, seq + 1 - first)
+            end = len(self._records) if limit is None else start + limit
+            return self._records[start:end]
+
+    # -- wakeups ---------------------------------------------------------
+    def subscribe(
+        self, loop: "asyncio.AbstractEventLoop", event: "asyncio.Event"
+    ) -> None:
+        """Register an asyncio event to be set (thread-safely) on every
+        append — how the synchronous write path wakes the shipper."""
+        with self._lock:
+            self._listeners.append((loop, event))
+
+    def unsubscribe(
+        self, loop: "asyncio.AbstractEventLoop", event: "asyncio.Event"
+    ) -> None:
+        with self._lock:
+            try:
+                self._listeners.remove((loop, event))
+            except ValueError:
+                pass
+
+
+class ReplicatedStore(StoreApi):
+    """Store wrapper teeing every committed mutation into a
+    :class:`ReplicationLog`.
+
+    Reads and introspection delegate untouched to the wrapped store;
+    each write commits there first and then appends its block, under one
+    lock so the log's record order equals the store's commit order (the
+    property the follower's sequential replay relies on).  Failed writes
+    append nothing — an unacknowledged write is allowed to be lost, and
+    logging it would instead *invent* it on the follower.
+
+    Wrap the innermost real store (single or sharded).  Note the
+    at-ingest cardinality guard-rail is the one write surface that can
+    fail *mid-batch* (rows admitted before the rejected series stay
+    written); run replicated primaries without ``max_tag_values`` or
+    accept that a guard-rail rejection leaves those rows primary-only.
+    """
+
+    def __init__(
+        self, store: "TimeSeriesStore", log: ReplicationLog | None = None
+    ) -> None:
+        self._store = store
+        self.log = log if log is not None else ReplicationLog()
+        self._write_lock = threading.Lock()
+
+    @property
+    def wrapped(self) -> "TimeSeriesStore":
+        """The underlying store (escape hatch, mirrors CachingStore)."""
+        return self._store
+
+    def __getattr__(self, name: str):
+        # Only called for attributes not found on this class: the whole
+        # read/introspection surface passes straight through.
+        return getattr(self._store, name)
+
+    # -- teed writes -----------------------------------------------------
+    def put(
+        self,
+        metric: str,
+        timestamp: int,
+        value: float,
+        tags: Mapping[str, str] | None = None,
+    ) -> SeriesKey:
+        with self._write_lock:
+            key = self._store.put(metric, timestamp, value, tags)
+            self.log.append_batch(
+                PointBatch.from_points([DataPoint(key, int(timestamp), float(value))])
+            )
+        return key
+
+    def put_point(self, point: DataPoint) -> SeriesKey:
+        with self._write_lock:
+            key = self._store.put_point(point)
+            self.log.append_batch(PointBatch.from_points([point]))
+        return key
+
+    def put_batch(self, batch: PointBatch) -> int:
+        with self._write_lock:
+            n = self._store.put_batch(batch)
+            self.log.append_batch(batch)
+        return n
+
+    def put_series(
+        self,
+        metric: str,
+        timestamps,
+        values,
+        tags: Mapping[str, str] | None = None,
+    ) -> SeriesKey:
+        batch = PointBatch.for_series(metric, timestamps, values, tags)
+        self.put_batch(batch)
+        return batch.keys[0]
+
+    def put_many(self, points: Iterable[DataPoint]) -> int:
+        # StoreApi.put_many chunks through self.put_batch, which tees.
+        return StoreApi.put_many(self, points)
+
+    def delete_before(
+        self, cutoff: int, *, exclude_suffix: str | None = None
+    ) -> int:
+        with self._write_lock:
+            n = self._store.delete_before(cutoff, exclude_suffix=exclude_suffix)
+            self.log.append_delete_before(cutoff, exclude_suffix=exclude_suffix)
+        return n
+
+    def delete_series_before(self, key: SeriesKey, cutoff: int) -> int:
+        with self._write_lock:
+            n = self._store.delete_series_before(key, cutoff)
+            self.log.append_delete_series_before(key, cutoff)
+        return n
+
+
+__all__ = ["ReplicatedStore", "ReplicationLog"]

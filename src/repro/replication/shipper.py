@@ -1,0 +1,235 @@
+"""The shipper: streams replication-log records to a follower over TCP.
+
+Wire protocol (all integers little-endian), one TCP connection at a
+time, shipper dials the follower::
+
+    shipper  → follower   magic  = b"RREP\\x00\\x01"          (6 bytes)
+    follower → shipper    u64 applied_seq                     (handshake)
+    shipper  → follower   record = u32 len · u64 seq · framed block
+    follower → shipper    u64 ack (applied high-water mark)   (repeated)
+
+Delivery is **at-least-once**: the shipper resumes from the follower's
+handshake-reported high-water mark after any disconnect (catch-up
+replay), so records can arrive duplicated — the follower's
+sequence-based dedup makes apply idempotent.  Reliability mechanics:
+
+- **bounded in-flight window** — at most ``window`` unacknowledged
+  records on the wire; the sender parks until acks advance;
+- **exponential backoff + jitter on reconnect** — seeded, so failover
+  tests replay deterministically;
+- **acked trimming** — every ack frees log memory via
+  :meth:`ReplicationLog.ack`.
+
+The framed block inside each record is byte-identical to what the WAL
+writer puts on disk, CRC and all; the follower re-validates it before
+applying, so wire corruption is caught by the same checksum that
+catches disk corruption.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import random
+import struct
+from dataclasses import dataclass, field
+
+from .log import ReplicationLog
+
+#: First bytes of every replication connection (includes the version).
+REPLICATION_MAGIC = b"RREP\x00\x01"
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+#: Records above this size are refused by the follower — a corrupted
+#: length prefix must not trigger a multi-GB read.
+MAX_RECORD_BYTES = 256 << 20
+
+
+def encode_record(seq: int, frame: bytes) -> bytes:
+    """One wire record: length prefix, sequence number, framed block."""
+    return _U32.pack(8 + len(frame)) + _U64.pack(seq) + frame
+
+
+@dataclass
+class ShipperStats:
+    connects: int = 0
+    connect_failures: int = 0
+    reconnects: int = 0
+    records_shipped: int = 0
+    records_resent: int = 0
+    acks_received: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class SegmentShipper:
+    """Ships a :class:`ReplicationLog` to one follower, forever.
+
+    Run :meth:`run` inside an event loop (or :meth:`start` to spawn it
+    as a task).  The shipper never blocks the write path: writers append
+    to the log and return; shipping is asynchronous by construction —
+    the paper's sensor ingest must not stall on a WAN hiccup.
+    """
+
+    log: ReplicationLog
+    host: str
+    port: int
+    window: int = 64
+    backoff: float = 0.05
+    max_backoff: float = 2.0
+    jitter: float = 0.25
+    connect_timeout: float = 5.0
+    seed: int | None = None
+    stats: ShipperStats = field(default_factory=ShipperStats)
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        self._rng = random.Random(self.seed)
+        self._stopping = False
+        self._task: asyncio.Task | None = None
+        self._wake: asyncio.Event | None = None
+        self._cursor = 0  # highest seq written to the current connection
+        self._max_shipped = 0  # highest seq ever put on any connection
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> asyncio.Task:
+        """Spawn :meth:`run` as a task on the running loop."""
+        self._task = asyncio.get_running_loop().create_task(self.run())
+        return self._task
+
+    async def stop(self) -> None:
+        """Stop shipping; in-flight but unacked records stay in the log."""
+        self._stopping = True
+        if self._wake is not None:
+            self._wake.set()
+        if self._task is not None:
+            self._task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._task
+            self._task = None
+
+    async def run(self) -> None:
+        """Connect-ship-reconnect loop; returns only via :meth:`stop`."""
+        loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self.log.subscribe(loop, self._wake)
+        failures = 0
+        try:
+            while not self._stopping:
+                try:
+                    reader, writer = await asyncio.wait_for(
+                        asyncio.open_connection(self.host, self.port),
+                        self.connect_timeout,
+                    )
+                except (OSError, asyncio.TimeoutError):
+                    self.stats.connect_failures += 1
+                    await self._sleep_backoff(failures)
+                    failures += 1
+                    continue
+                try:
+                    await self._session(reader, writer)
+                    failures = 0  # handshake + some traffic succeeded
+                except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                    failures += 1
+                finally:
+                    writer.close()
+                    with contextlib.suppress(Exception):
+                        await writer.wait_closed()
+                if not self._stopping:
+                    self.stats.reconnects += 1
+                    await self._sleep_backoff(failures)
+        finally:
+            self.log.unsubscribe(loop, self._wake)
+
+    async def _sleep_backoff(self, attempt: int) -> None:
+        delay = min(self.max_backoff, self.backoff * (2 ** min(attempt, 16)))
+        # Full +/- jitter so a fleet of shippers spreads its reconnects.
+        delay *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        await asyncio.sleep(max(0.0, delay))
+
+    # -- one connection --------------------------------------------------
+    async def _session(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        writer.write(REPLICATION_MAGIC)
+        await writer.drain()
+        (applied,) = _U64.unpack(await reader.readexactly(8))
+        # Catch-up replay starts exactly at the follower's high-water
+        # mark: everything at or below it is already applied over there.
+        self.log.ack(applied)
+        self._cursor = applied
+        self.stats.connects += 1
+        sender = asyncio.create_task(self._send_loop(writer))
+        acker = asyncio.create_task(self._ack_loop(reader))
+        try:
+            done, _ = await asyncio.wait(
+                {sender, acker}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            for task in (sender, acker):
+                task.cancel()
+            await asyncio.gather(sender, acker, return_exceptions=True)
+        for task in done:
+            if not task.cancelled() and task.exception() is not None:
+                raise task.exception()
+
+    async def _send_loop(self, writer: asyncio.StreamWriter) -> None:
+        assert self._wake is not None
+        while not self._stopping:
+            free = self.window - (self._cursor - self.log.acked_seq)
+            records = (
+                self.log.pending_after(self._cursor, limit=free) if free > 0 else []
+            )
+            if not records:
+                await self._wake.wait()
+                self._wake.clear()
+                continue
+            chunk = bytearray()
+            for seq, frame in records:
+                chunk += encode_record(seq, frame)
+                if seq <= self._max_shipped:
+                    self.stats.records_resent += 1
+                self._cursor = seq
+                self._max_shipped = max(self._max_shipped, seq)
+                self.stats.records_shipped += 1
+            writer.write(bytes(chunk))
+            await writer.drain()
+
+    async def _ack_loop(self, reader: asyncio.StreamReader) -> None:
+        assert self._wake is not None
+        while True:
+            (seq,) = _U64.unpack(await reader.readexactly(8))
+            self.log.ack(seq)
+            self.stats.acks_received += 1
+            self._wake.set()  # acks free window slots for the sender
+
+    # -- synchronization helpers ----------------------------------------
+    @property
+    def lag_records(self) -> int:
+        """Records appended but not yet acknowledged by the follower."""
+        return self.log.last_seq - self.log.acked_seq
+
+    async def wait_caught_up(self, timeout: float | None = None) -> None:
+        """Await full acknowledgment of everything currently in the log."""
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        while self.log.acked_seq < self.log.last_seq:
+            if deadline is not None and loop.time() >= deadline:
+                raise TimeoutError(
+                    f"follower {self.lag_records} records behind after {timeout}s"
+                )
+            await asyncio.sleep(0.005)
+
+
+__all__ = [
+    "MAX_RECORD_BYTES",
+    "REPLICATION_MAGIC",
+    "SegmentShipper",
+    "ShipperStats",
+    "encode_record",
+]

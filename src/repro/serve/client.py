@@ -9,7 +9,13 @@ JSON protocol of :mod:`repro.serve.server`:
   the connection so a stuck server cannot wedge the client;
 - **retry with backoff** — transport failures (refused, reset, timed
   out) reconnect and resend with exponential backoff; queries are
-  idempotent reads, so resending is safe.  *Server-answered* errors
+  idempotent reads, so resending is safe.  Each sleep is scaled by a
+  random **jitter** factor so a fleet of clients cut off together (say,
+  by a primary failover) doesn't retry in lockstep against the freshly
+  promoted follower, and an optional total-elapsed **deadline** caps
+  the whole retry sequence — a dashboard would rather show one stale
+  panel than block a render loop through full exponential backoff.
+  *Server-answered* errors
   (:class:`~repro.tsdb.wire.RemoteQueryError`) are never retried — the
   request itself is bad;
 - **batched multi-query calls** — :meth:`run_many` ships a whole
@@ -24,9 +30,10 @@ Usage::
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..tsdb import wire
 from ..tsdb.plan import ExprQuery, QueryBuilder
@@ -46,13 +53,29 @@ class QueryClient:
         timeout: float = 10.0,
         retries: int = 2,
         backoff: float = 0.05,
+        jitter: float = 0.25,
+        deadline: float | None = None,
+        rng: Callable[[], float] | None = None,
     ) -> None:
+        """``jitter`` scales each backoff sleep by a uniform factor in
+        ``[1-jitter, 1+jitter]``; ``deadline`` (seconds) is a
+        total-elapsed budget per call — once it is spent, no further
+        retry starts (the in-progress attempt still finishes, bounded by
+        ``timeout``) and sleeps are clipped to the time remaining.
+        ``rng`` is an injectable ``random()``-like callable so tests pin
+        the jitter.
+        """
         self.host = host
         self.port = int(port)
         self.tenant = tenant
         self.timeout = float(timeout)
         self.retries = int(retries)
         self.backoff = float(backoff)
+        self.jitter = float(jitter)
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        self.deadline = None if deadline is None else float(deadline)
+        self._rng = rng if rng is not None else random.random
         self._sock: socket.socket | None = None
         self._file = None
         self._next_id = 0
@@ -120,10 +143,19 @@ class QueryClient:
             envelope["tenant"] = self.tenant
         line = json.dumps(envelope, allow_nan=False).encode() + b"\n"
 
+        started = time.monotonic()
         last_error: Exception | None = None
         for attempt in range(self.retries + 1):
             if attempt:
-                time.sleep(self.backoff * (2 ** (attempt - 1)))
+                delay = self.backoff * (2 ** (attempt - 1))
+                # Jittered so clients that failed together retry spread out.
+                delay *= 1.0 + self.jitter * (2.0 * self._rng() - 1.0)
+                if self.deadline is not None:
+                    remaining = self.deadline - (time.monotonic() - started)
+                    if remaining <= 0:
+                        break  # out of time: surface the last transport error
+                    delay = min(delay, remaining)
+                time.sleep(max(0.0, delay))
             try:
                 self.connect()
                 assert self._sock is not None and self._file is not None

@@ -111,9 +111,14 @@ class _Lane:
         self.admitted = 0
         self.dropped = 0
         self.spilled = 0
+        self.in_flight = 0  # popped from the queue, reply not yet sent
 
     def depth(self) -> int:
         return len(self.queue)
+
+    def idle(self) -> bool:
+        """Nothing queued and nothing executing: safe to cancel."""
+        return not self.queue and self.in_flight == 0
 
     def stats(self) -> dict:
         return {
@@ -158,6 +163,7 @@ class QueryServer:
         self._tenant_policies = dict(tenant_policies or {})
         self._lanes: dict[str, _Lane] = {}
         self._server: asyncio.Server | None = None
+        self._stopping = False
         self.requests = 0
         self.errors = 0
 
@@ -183,11 +189,29 @@ class QueryServer:
         async with self._server:
             await self._server.serve_forever()
 
-    async def stop(self) -> None:
+    async def stop(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Shut down gracefully: refuse new work, answer admitted work.
+
+        Closing the listener stops new connections; the ``_stopping``
+        flag stops live connections from submitting further requests.
+        With ``drain`` (the default) every job already admitted to a
+        lane — queued or executing — is answered before the workers are
+        cancelled, so a SIGTERM rollout never eats requests the server
+        accepted; ``timeout`` bounds the wait (then abandons the rest,
+        the old behaviour).  ``drain=False`` is the hard stop.
+        """
+        self._stopping = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if drain:
+            loop = asyncio.get_running_loop()
+            deadline = None if timeout is None else loop.time() + timeout
+            while any(not lane.idle() for lane in self._lanes.values()):
+                if deadline is not None and loop.time() >= deadline:
+                    break
+                await asyncio.sleep(0.005)
         for lane in self._lanes.values():
             for task in lane.workers:
                 task.cancel()
@@ -257,10 +281,14 @@ class QueryServer:
                 lane.has_work.clear()
                 await lane.has_work.wait()
             job = lane.queue.popleft()
-            if lane.depth() < lane.policy.max_pending:
-                lane.not_full.set()
-            response = await loop.run_in_executor(None, self._execute, job)
-            await self._reply(job, response)
+            lane.in_flight += 1
+            try:
+                if lane.depth() < lane.policy.max_pending:
+                    lane.not_full.set()
+                response = await loop.run_in_executor(None, self._execute, job)
+                await self._reply(job, response)
+            finally:
+                lane.in_flight -= 1
 
     # -- execution -------------------------------------------------------
     def _execute(self, job: _Job) -> dict:
@@ -350,7 +378,7 @@ class QueryServer:
     ) -> None:
         write_lock = asyncio.Lock()
         try:
-            while True:
+            while not self._stopping:
                 try:
                     line = await reader.readline()
                 except (ConnectionError, asyncio.LimitOverrunError):
@@ -359,6 +387,8 @@ class QueryServer:
                     break
                 if not line.strip():
                     continue
+                if self._stopping:
+                    break  # draining: refuse work read after the stop
                 job = self._parse_line(line, writer, write_lock)
                 if job is None:
                     continue  # error already replied; connection lives on

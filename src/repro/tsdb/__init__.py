@@ -41,12 +41,14 @@ from .model import (
 )
 from .persistence import (
     DeleteBefore,
+    DeleteSeriesBefore,
     LogCorruption,
     LogWriter,
     convert_log,
     detect_format,
     dumps,
     format_delete_before,
+    format_delete_series_before,
     format_point,
     iter_batches,
     iter_entries,
@@ -59,6 +61,9 @@ from .persistence import (
 from .segments import (
     SegmentCorruption,
     SegmentWriter,
+    decode_block,
+    decode_frame,
+    frame_block,
     iter_segments,
     parse_series_key,
     segment_point_count,
@@ -96,6 +101,7 @@ __all__ = [
     "CatalogRequest",
     "DataPoint",
     "DeleteBefore",
+    "DeleteSeriesBefore",
     "Downsample",
     "ExprQuery",
     "ExprResult",
@@ -141,8 +147,11 @@ __all__ = [
     "aggregators",
     "compute_rate",
     "convert_log",
+    "decode_block",
+    "decode_frame",
     "detect_format",
     "dumps",
+    "frame_block",
     "encode_catalog_request",
     "encode_error",
     "execute_query",
@@ -150,6 +159,7 @@ __all__ = [
     "handle_catalog_request",
     "handle_request",
     "format_delete_before",
+    "format_delete_series_before",
     "format_point",
     "iter_batches",
     "iter_entries",

@@ -8,9 +8,10 @@ reproduce it with two on-disk formats behind one API:
     <metric> <timestamp> <value> [tagk=tagv ...]
 
 plus ``#``-prefixed comments and ``!``-prefixed control markers.  The
-one control marker is retention::
+control markers are retention, store-wide and per-series::
 
     !delete_before <cutoff> [exclude=<suffix>]
+    !delete_series_before <cutoff> <metric{k=v,...}>
 
 so a replayed log reproduces the post-retention state, not just the
 union of every point ever written.
@@ -44,10 +45,12 @@ from .database import TSDB
 from .model import DataPoint
 from .segments import (
     DeleteBefore,
+    DeleteSeriesBefore,
     SegmentCorruption,
     SegmentWriter,
     SEGMENT_MAGIC,
     iter_segments,
+    parse_series_key,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -55,6 +58,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "DeleteBefore",
+    "DeleteSeriesBefore",
     "LogCorruption",
     "LogWriter",
     "SegmentCorruption",
@@ -63,6 +67,7 @@ __all__ = [
     "detect_format",
     "dumps",
     "format_delete_before",
+    "format_delete_series_before",
     "format_point",
     "iter_batches",
     "iter_entries",
@@ -77,6 +82,7 @@ __all__ = [
 #: Control lines start with this character (vs. ``#`` for comments).
 MARKER_PREFIX = "!"
 _MARKER_DELETE_BEFORE = "!delete_before"
+_MARKER_DELETE_SERIES_BEFORE = "!delete_series_before"
 
 
 class LogCorruption(ValueError):
@@ -104,8 +110,35 @@ def format_delete_before(marker: DeleteBefore) -> str:
     return line
 
 
-def _parse_marker(stripped: str, line: str, lineno: int) -> DeleteBefore:
+def format_delete_series_before(marker: DeleteSeriesBefore) -> str:
+    """Render a scoped-retention marker as a control line.
+
+    The canonical key form contains no whitespace, so the line splits
+    back unambiguously.
+    """
+    return f"{_MARKER_DELETE_SERIES_BEFORE} {marker.cutoff} {marker.key}"
+
+
+def _parse_marker(
+    stripped: str, line: str, lineno: int
+) -> DeleteBefore | DeleteSeriesBefore:
     parts = stripped.split()
+    if parts[0] == _MARKER_DELETE_SERIES_BEFORE:
+        if len(parts) != 3:
+            raise LogCorruption(
+                lineno, line, "expected '!delete_series_before <cutoff> <key>'"
+            )
+        try:
+            cutoff = int(parts[1])
+        except ValueError:
+            raise LogCorruption(lineno, line, f"bad cutoff {parts[1]!r}") from None
+        try:
+            key = parse_series_key(parts[2])
+        except ValueError:
+            raise LogCorruption(
+                lineno, line, f"bad series key {parts[2]!r}"
+            ) from None
+        return DeleteSeriesBefore(key, cutoff)
     if parts[0] != _MARKER_DELETE_BEFORE:
         raise LogCorruption(lineno, line, f"unknown marker {parts[0]!r}")
     if len(parts) not in (2, 3):
@@ -125,7 +158,9 @@ def _parse_marker(stripped: str, line: str, lineno: int) -> DeleteBefore:
     return DeleteBefore(cutoff, exclude)
 
 
-def parse_entry(line: str, lineno: int = 0) -> DataPoint | DeleteBefore | None:
+def parse_entry(
+    line: str, lineno: int = 0
+) -> DataPoint | DeleteBefore | DeleteSeriesBefore | None:
     """Parse one log line into a point or a control marker.
 
     Returns None for blanks and comments; raises :class:`LogCorruption`
@@ -225,6 +260,14 @@ class LogWriter:
         )
         self.flush()
 
+    def delete_series_before(self, key, cutoff: int) -> None:
+        """Append a scoped-retention marker (flushed immediately, like
+        :meth:`delete_before` — same resurrect-on-replay hazard)."""
+        self._fh.write(
+            format_delete_series_before(DeleteSeriesBefore(key, int(cutoff))) + "\n"
+        )
+        self.flush()
+
     def comment(self, text: str) -> None:
         for line in text.splitlines() or [""]:
             self._fh.write(f"# {line}\n")
@@ -246,7 +289,7 @@ class LogWriter:
 
 def iter_entries(
     source: str | os.PathLike[str] | TextIO, *, strict: bool = True
-) -> Iterator[DataPoint | DeleteBefore]:
+) -> Iterator[DataPoint | DeleteBefore | DeleteSeriesBefore]:
     """Yield points and control markers from a log, in file order.
 
     With ``strict=False`` corrupt lines are skipped instead of raising —
@@ -342,7 +385,7 @@ def iter_batches(
     *,
     strict: bool = True,
     format: str = "auto",
-) -> Iterator[PointBatch | DeleteBefore]:
+) -> Iterator[PointBatch | DeleteBefore | DeleteSeriesBefore]:
     """Yield a log's contents as columnar batches plus control markers.
 
     The format-independent replay stream: binary segments yield their
@@ -356,7 +399,7 @@ def iter_batches(
         return
     builder = BatchBuilder()
     for entry in iter_entries(source, strict=strict):
-        if isinstance(entry, DeleteBefore):
+        if isinstance(entry, (DeleteBefore, DeleteSeriesBefore)):
             if len(builder):
                 yield builder.build()
             yield entry
@@ -390,6 +433,8 @@ def load(
     for item in iter_batches(source, strict=strict, format=format):
         if isinstance(item, DeleteBefore):
             db.delete_before(item.cutoff, exclude_suffix=item.exclude_suffix)
+        elif isinstance(item, DeleteSeriesBefore):
+            db.delete_series_before(item.key, item.cutoff)
         else:
             db.put_batch(item)
     return db
@@ -492,6 +537,9 @@ def convert_log(
         for item in iter_batches(src, strict=strict):
             if isinstance(item, DeleteBefore):
                 writer.delete_before(item.cutoff, exclude_suffix=item.exclude_suffix)
+                markers += 1
+            elif isinstance(item, DeleteSeriesBefore):
+                writer.delete_series_before(item.key, item.cutoff)
                 markers += 1
             else:
                 points += writer.write_batch(item)

@@ -9,7 +9,9 @@ Two scoped variants serve the multi-city / sharded deployments:
 
 - :meth:`RetentionPolicy.enforce_scoped` limits a pass to series
   matching a tag filter (the regional hub's per-city horizons, scoped
-  to ``city=<name>``);
+  to ``city=<name>``), optionally appending ``!delete_series_before``
+  markers (and teeing rollup writes) to a WAL so scoped retention
+  survives replay;
 - :class:`PerShardRetention` applies a distinct policy per shard of a
   :class:`~repro.tsdb.sharded.ShardedTSDB`, optionally appending the
   matching ``!delete_before`` WAL marker to each shard's log so a
@@ -70,7 +72,12 @@ class RetentionPolicy:
         return RolledUp(dropped_points=dropped, rolled_points=rolled, cutoff=cutoff)
 
     def enforce_scoped(
-        self, db: "TimeSeriesStore", now: int, tags: Mapping[str, str]
+        self,
+        db: "TimeSeriesStore",
+        now: int,
+        tags: Mapping[str, str],
+        *,
+        wal: "LogWriter | SegmentWriter | None" = None,
     ) -> RolledUp:
         """Apply the policy to series matching ``tags`` only.
 
@@ -78,13 +85,19 @@ class RetentionPolicy:
         series (tag filters support the query syntax: exact, ``*``,
         ``a|b``).  Deletion goes series-by-series through
         ``delete_series_before``, so other tenants of the same store —
-        other cities, shared external feeds — are untouched.
+        other cities, shared external feeds — are untouched.  With a
+        ``wal`` writer attached, every effective deletion appends the
+        matching ``!delete_series_before`` marker and rollup writes are
+        teed as point lines, so a replayed log reproduces the scoped
+        post-retention state (the same contract
+        :class:`PerShardRetention` keeps for whole shards).
         """
         cutoff = now - self.raw_max_age
         rolled = 0
         exclude = None
         if self.rollup is not None:
-            rolled = self._roll_old_points(db, cutoff, tags=tags)
+            into = db if wal is None else _WalPutTee(db, wal)
+            rolled = self._roll_old_points(db, cutoff, tags=tags, into=into)
             exclude = self.rollup_suffix
         dropped = 0
         for metric in list(db.metrics()):
@@ -93,7 +106,10 @@ class RetentionPolicy:
             for key in list(db.series_for_metric(metric)):
                 if not key.matches(tags):
                     continue
-                dropped += db.delete_series_before(key, cutoff)
+                dropped_here = db.delete_series_before(key, cutoff)
+                if dropped_here and wal is not None:
+                    wal.delete_series_before(key, cutoff)
+                dropped += dropped_here
         return RolledUp(dropped_points=dropped, rolled_points=rolled, cutoff=cutoff)
 
     def _roll_old_points(
@@ -205,6 +221,21 @@ class PerShardRetention:
                 RolledUp(dropped_points=dropped, rolled_points=rolled, cutoff=cutoff)
             )
         return tuple(out)
+
+
+class _WalPutTee:
+    """Write facade for scoped rollups: store put + a line in one WAL."""
+
+    def __init__(
+        self, db: "TimeSeriesStore", wal: "LogWriter | SegmentWriter"
+    ) -> None:
+        self._db = db
+        self._wal = wal
+
+    def put(self, metric, timestamp, value, tags=None) -> SeriesKey:
+        key = self._db.put(metric, timestamp, value, tags)
+        self._wal.write(DataPoint(key, int(timestamp), float(value)))
+        return key
 
 
 class _WalTeeStore:

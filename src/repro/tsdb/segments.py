@@ -26,10 +26,11 @@ Block types:
     f64[n_rows] values           (raw IEEE-754 bits)
 
 ``0x02`` **marker** — a typed control block, the binary twin of the
-text protocol's ``!delete_before`` line::
+text protocol's ``!delete_before`` / ``!delete_series_before`` lines::
 
-    u8 kind (1 = delete_before) · i64 cutoff
-    u8 has_exclude · u16 len · utf-8 exclude suffix
+    u8 kind (1 = delete_before, 2 = delete_series_before) · i64 cutoff
+    u8 has_exclude · u16 len · utf-8 tail
+    (kind 1: tail = exclude suffix; kind 2: tail = canonical series key)
 
 ``0x03`` **comment** — utf-8 text; readers skip it.
 
@@ -68,11 +69,15 @@ _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
 _MARKER_HEAD = struct.Struct("<bqB")  # kind, cutoff, has_exclude
 
-_BLOCK_BATCH = 0x01
-_BLOCK_MARKER = 0x02
-_BLOCK_COMMENT = 0x03
+#: Block type tags — public so frame-level consumers (the replication
+#: log tees pre-framed blocks; followers decode them) can speak the
+#: format without re-deriving constants.
+BLOCK_BATCH = _BLOCK_BATCH = 0x01
+BLOCK_MARKER = _BLOCK_MARKER = 0x02
+BLOCK_COMMENT = _BLOCK_COMMENT = 0x03
 
 _KIND_DELETE_BEFORE = 1
+_KIND_DELETE_SERIES_BEFORE = 2
 
 #: Batches larger than this split across blocks (u32 payload bound).
 _MAX_BLOCK_ROWS = 1 << 26
@@ -88,6 +93,22 @@ class DeleteBefore:
 
     cutoff: int
     exclude_suffix: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class DeleteSeriesBefore:
+    """Replayable scoped-retention marker: drop one series' points older
+    than ``cutoff``.
+
+    The durable twin of ``TimeSeriesStore.delete_series_before`` —
+    per-city retention policies and the replication stream both need
+    scoped deletions to survive replay, not just the store-wide
+    :class:`DeleteBefore`.  Text form ``!delete_series_before``, binary
+    form marker kind 2.
+    """
+
+    key: SeriesKey
+    cutoff: int
 
 
 class SegmentCorruption(ValueError):
@@ -172,7 +193,11 @@ def decode_batch(payload: bytes) -> PointBatch:
     return PointBatch(tuple(keys), key_idx, timestamps, values)
 
 
-def encode_marker(marker: DeleteBefore) -> bytes:
+def encode_marker(marker: DeleteBefore | DeleteSeriesBefore) -> bytes:
+    if isinstance(marker, DeleteSeriesBefore):
+        tail = str(marker.key).encode("utf-8")
+        head = _MARKER_HEAD.pack(_KIND_DELETE_SERIES_BEFORE, int(marker.cutoff), 0)
+        return head + _U16.pack(len(tail)) + tail
     suffix = (marker.exclude_suffix or "").encode("utf-8")
     head = _MARKER_HEAD.pack(
         _KIND_DELETE_BEFORE,
@@ -182,26 +207,79 @@ def encode_marker(marker: DeleteBefore) -> bytes:
     return head + _U16.pack(len(suffix)) + suffix
 
 
-def decode_marker(payload: bytes) -> DeleteBefore:
+def decode_marker(payload: bytes) -> DeleteBefore | DeleteSeriesBefore:
     try:
         kind, cutoff, has_exclude = _MARKER_HEAD.unpack_from(payload, 0)
         (slen,) = _U16.unpack_from(payload, _MARKER_HEAD.size)
         raw = payload[_MARKER_HEAD.size + 2 : _MARKER_HEAD.size + 2 + slen]
-        suffix = raw.decode("utf-8")
+        tail = raw.decode("utf-8")
     except (struct.error, UnicodeDecodeError) as exc:
         raise ValueError(f"bad marker block: {exc}") from None
-    if kind != _KIND_DELETE_BEFORE:
-        raise ValueError(f"unknown marker kind {kind}")
     if len(raw) != slen:
-        raise ValueError("bad marker block: truncated exclude suffix")
-    return DeleteBefore(cutoff, suffix if has_exclude else None)
+        raise ValueError("bad marker block: truncated marker tail")
+    if kind == _KIND_DELETE_BEFORE:
+        return DeleteBefore(cutoff, tail if has_exclude else None)
+    if kind == _KIND_DELETE_SERIES_BEFORE:
+        try:
+            return DeleteSeriesBefore(parse_series_key(tail), cutoff)
+        except ValueError as exc:
+            raise ValueError(f"bad series marker: {exc}") from None
+    raise ValueError(f"unknown marker kind {kind}")
 
 
-def _frame(block_type: int, payload: bytes) -> bytes:
-    # The CRC covers the type and length fields too, so header damage is
-    # detected as corruption rather than trusted as framing.
+def frame_block(block_type: int, payload: bytes) -> bytes:
+    """Wrap a block payload in the on-disk/on-wire frame.
+
+    The CRC covers the type and length fields too, so header damage is
+    detected as corruption rather than trusted as framing.  Public
+    because framed blocks *are* the replication wire unit: the
+    replication log stores them, the shipper sends them verbatim, and
+    the follower validates them with :func:`decode_frame`.
+    """
     crc = zlib.crc32(payload, zlib.crc32(_HEADER_PREFIX.pack(block_type, len(payload))))
     return _HEADER.pack(block_type, len(payload), crc) + payload
+
+
+_frame = frame_block
+
+
+def decode_frame(frame: bytes) -> tuple[int, bytes]:
+    """Validate one complete in-memory framed block → ``(type, payload)``.
+
+    The in-memory twin of the file reader's framing walk, for consumers
+    that receive exactly one frame (a replication record): checks the
+    length against the actual byte count and the CRC against header +
+    payload, raising :class:`SegmentCorruption` on any mismatch.
+    """
+    if len(frame) < _HEADER.size:
+        raise SegmentCorruption(0, "truncated block header")
+    block_type, plen, crc = _HEADER.unpack_from(frame, 0)
+    payload = frame[_HEADER.size :]
+    if len(payload) != plen:
+        raise SegmentCorruption(
+            0, f"frame length mismatch ({len(payload)}/{plen} payload bytes)"
+        )
+    expect = zlib.crc32(payload, zlib.crc32(frame[: _HEADER_PREFIX.size]))
+    if expect != crc:
+        raise SegmentCorruption(0, "block checksum mismatch")
+    return block_type, payload
+
+
+def decode_block(
+    block_type: int, payload: bytes
+) -> PointBatch | DeleteBefore | DeleteSeriesBefore | None:
+    """Decode a validated block payload into its typed value.
+
+    Comments decode to ``None`` (readers skip them); an unknown block
+    type raises ``ValueError``, mirroring :func:`iter_segments`.
+    """
+    if block_type == _BLOCK_BATCH:
+        return decode_batch(payload)
+    if block_type == _BLOCK_MARKER:
+        return decode_marker(payload)
+    if block_type == _BLOCK_COMMENT:
+        return None
+    raise ValueError(f"unknown block type 0x{block_type:02x}")
 
 
 def _clean_length(path: Path) -> int:
@@ -325,6 +403,15 @@ class SegmentWriter:
         )
         self._emit(frames, npend)
 
+    def delete_series_before(self, key: SeriesKey, cutoff: int) -> None:
+        """Append a scoped-retention marker block (flushed immediately,
+        like :meth:`delete_before` — same resurrect-on-replay hazard)."""
+        frames, npend = self._pending_frames()
+        frames.append(
+            _frame(_BLOCK_MARKER, encode_marker(DeleteSeriesBefore(key, int(cutoff))))
+        )
+        self._emit(frames, npend)
+
     def comment(self, text: str) -> None:
         frames, npend = self._pending_frames()
         frames.append(_frame(_BLOCK_COMMENT, text.encode("utf-8")))
@@ -401,7 +488,7 @@ class SegmentWriter:
 # ---------------------------------------------------------------------------
 def iter_segments(
     source: str | os.PathLike[str] | BinaryIO, *, strict: bool = True
-) -> Iterator[PointBatch | DeleteBefore]:
+) -> Iterator[PointBatch | DeleteBefore | DeleteSeriesBefore]:
     """Yield batch blocks and control markers from a segment, in order.
 
     With ``strict=False``, a block whose checksum or structure fails is
@@ -413,14 +500,7 @@ def iter_segments(
     """
     for offset, block_type, payload in _iter_blocks(source, strict=strict):
         try:
-            if block_type == _BLOCK_BATCH:
-                item: PointBatch | DeleteBefore | None = decode_batch(payload)
-            elif block_type == _BLOCK_MARKER:
-                item = decode_marker(payload)
-            elif block_type == _BLOCK_COMMENT:
-                item = None
-            else:
-                raise ValueError(f"unknown block type 0x{block_type:02x}")
+            item = decode_block(block_type, payload)
         except ValueError as exc:
             if strict:
                 raise SegmentCorruption(offset, str(exc)) from None

@@ -500,3 +500,119 @@ class TestCatalogService:
             limited.put("air.co2.ppm", 0, 1.0,
                         {"node": "c", "city": "trondheim"})
         assert type(err.value).__name__ == "CardinalityLimitError"
+
+
+def _refused_port() -> int:
+    """A port with nothing listening: bind, note, close."""
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+class TestClientRetryPolicy:
+    """Satellite: jittered backoff + total-elapsed deadline in the SDK."""
+
+    def test_jitter_out_of_range_rejected(self):
+        for bad in (-0.1, 1.5):
+            with pytest.raises(ValueError, match="jitter"):
+                QueryClient("127.0.0.1", 1, jitter=bad)
+
+    def test_injected_rng_pins_the_jittered_delays(self, monkeypatch):
+        """With ``rng`` injected, every backoff sleep is exact: the
+        base exponential curve scaled by ``1 + jitter*(2*rng() - 1)``."""
+        delays: list[float] = []
+        monkeypatch.setattr(time, "sleep", delays.append)
+        client = QueryClient(
+            "127.0.0.1", _refused_port(), retries=3, backoff=0.1,
+            jitter=0.5, rng=lambda: 1.0, timeout=0.5,
+        )
+        with pytest.raises(OSError):
+            client.request([Query("m", 0, 10)])
+        assert delays == pytest.approx([0.15, 0.3, 0.6])  # x1.5 each
+        delays.clear()
+        low = QueryClient(
+            "127.0.0.1", _refused_port(), retries=2, backoff=0.1,
+            jitter=0.5, rng=lambda: 0.0, timeout=0.5,
+        )
+        with pytest.raises(OSError):
+            low.request([Query("m", 0, 10)])
+        assert delays == pytest.approx([0.05, 0.1])  # x0.5 each
+
+    def test_deadline_caps_the_whole_retry_sequence(self):
+        """A huge backoff cannot block past the deadline: sleeps are
+        clipped to the time remaining and retries stop when it's spent."""
+        client = QueryClient(
+            "127.0.0.1", _refused_port(), retries=50, backoff=10.0,
+            jitter=0.0, deadline=0.2, timeout=0.5,
+        )
+        t0 = time.monotonic()
+        with pytest.raises(OSError):
+            client.request([Query("m", 0, 10)])
+        assert time.monotonic() - t0 < 2.0  # not 10s, let alone 50 tries
+
+    def test_no_deadline_keeps_full_backoff(self, monkeypatch):
+        delays: list[float] = []
+        monkeypatch.setattr(time, "sleep", delays.append)
+        client = QueryClient(
+            "127.0.0.1", _refused_port(), retries=4, backoff=0.1,
+            jitter=0.0, timeout=0.5,
+        )
+        with pytest.raises(OSError):
+            client.request([Query("m", 0, 10)])
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.8])
+
+
+class TestGracefulStop:
+    """Satellite: draining ``stop()`` answers every admitted request."""
+
+    def test_stop_drains_in_flight_requests(self):
+        store = _seeded(_SlowStore())
+        q = Query("air.co2.ppm", 0, 4000, downsample="10m-avg")
+        replies: list = []
+
+        with live_server(store) as server:
+            done = threading.Event()
+
+            def one_slow_client():
+                try:
+                    with QueryClient(*server.address, timeout=30,
+                                     retries=0) as c:
+                        replies.append(c.request([q]))
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    replies.append(exc)
+                finally:
+                    done.set()
+
+            t = threading.Thread(target=one_slow_client)
+            t.start()
+            # Let the request get admitted (the slow store is executing),
+            # then let teardown stop the server underneath it.
+            time.sleep(0.2)
+            assert server._lanes  # a lane exists => request admitted
+        # live_server teardown ran server.stop() (drain=True): the
+        # admitted request must still have been answered.
+        assert done.wait(10)
+        t.join(timeout=10)
+        assert replies and isinstance(replies[0], dict), repr(replies)
+        assert "results" in replies[0]
+
+    def test_stopping_server_refuses_new_connections(self):
+        store = _seeded(TSDB())
+        with live_server(store) as server:
+            address = server.address
+            with QueryClient(*address, retries=0) as c:
+                c.run(Query("air.co2.ppm", 0, 4000))
+        # After teardown the listener is gone.
+        with pytest.raises(OSError):
+            socket.create_connection(address, timeout=0.5).close()
+
+    def test_hard_stop_is_still_available(self):
+        """``drain=False`` preserves the old immediate-cancel behavior."""
+        store = _seeded(_SlowStore())
+        server = QueryServer(store, port=0)
+
+        async def run():
+            await server.start()
+            await server.stop(drain=False)
+
+        asyncio.run(run())  # returns promptly; nothing hangs

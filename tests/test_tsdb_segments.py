@@ -14,6 +14,7 @@ Pins the new durability fast path to the text line protocol:
 """
 
 import io
+import struct
 
 import numpy as np
 import pytest
@@ -26,6 +27,7 @@ from repro.tsdb import (
     BatchBuilder,
     DataPoint,
     DeleteBefore,
+    DeleteSeriesBefore,
     LogWriter,
     PointBatch,
     Query,
@@ -640,3 +642,214 @@ class TestCodecProperties:
         db.put_batch(builder.build())
         blob = dumps(db, format="binary")
         assert dumps(load(io.BytesIO(blob))) == dumps(db)
+
+
+class TestDeleteSeriesBeforeMarker:
+    """The per-series retention marker (scoped retention's WAL footprint)
+    round-trips both durability formats and replays its deletion."""
+
+    def reference(self):
+        db = TSDB()
+        db.put("m", 10, 1.0, {"node": "a"})
+        db.put("m", 20, 2.0, {"node": "a"})
+        db.put("m", 10, 3.0, {"node": "b"})
+        key = parse_series_key("m{node=a}")
+        db.delete_series_before(key, 15)  # drops only m{node=a}@10
+        return db, key
+
+    def test_binary_round_trip(self, tmp_path):
+        path = tmp_path / "wal.seg"
+        _, key = self.reference()
+        with SegmentWriter(path) as w:
+            w.write(make_point(ts=1))
+            w.delete_series_before(key, 15)
+        items = list(iter_segments(path))
+        assert items[1] == DeleteSeriesBefore(key, 15)
+
+    def test_text_round_trip(self, tmp_path):
+        path = tmp_path / "wal.log"
+        _, key = self.reference()
+        with LogWriter(path) as w:
+            w.write(make_point(ts=1))
+            w.delete_series_before(key, 15)
+        items = list(iter_batches(path))
+        assert items[1] == DeleteSeriesBefore(key, 15)
+
+    @pytest.mark.parametrize("fmt,cls", [("text", LogWriter),
+                                         ("binary", SegmentWriter)])
+    def test_replay_applies_the_scoped_deletion(self, tmp_path, fmt, cls):
+        live, key = self.reference()
+        path = tmp_path / ("wal.log" if fmt == "text" else "wal.seg")
+        with cls(path) as w:
+            w.write(DataPoint.make("m", 10, 1.0, {"node": "a"}))
+            w.write(DataPoint.make("m", 20, 2.0, {"node": "a"}))
+            w.write(DataPoint.make("m", 10, 3.0, {"node": "b"}))
+            w.delete_series_before(key, 15)
+        assert dumps(load(path)) == dumps(live)
+
+    def test_convert_log_preserves_series_markers(self, tmp_path):
+        live, key = self.reference()
+        src = tmp_path / "wal.log"
+        with LogWriter(src) as w:
+            w.write(DataPoint.make("m", 10, 1.0, {"node": "a"}))
+            w.write(DataPoint.make("m", 20, 2.0, {"node": "a"}))
+            w.write(DataPoint.make("m", 10, 3.0, {"node": "b"}))
+            w.delete_series_before(key, 15)
+        points, markers = convert_log(src, tmp_path / "wal.seg")
+        assert (points, markers) == (3, 1)
+        assert dumps(load(tmp_path / "wal.seg")) == dumps(live)
+
+    def test_text_marker_rejects_garbage_key(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_text("m 1 2.0\n!delete_series_before 5 not{a}key{\n")
+        from repro.tsdb import LogCorruption
+
+        with pytest.raises(LogCorruption):
+            list(iter_batches(path))
+        assert load(path, strict=False).exact_point_count() == 1
+
+
+# -- hypothesis: crash recovery under arbitrary torn writes ---------------
+
+_HDR = struct.Struct("<BII")  # u8 type · u32 len · u32 crc
+
+block_specs = st.lists(
+    st.one_of(
+        st.tuples(st.just("batch"), st.integers(0, 2)),
+        st.tuples(st.just("del"), st.integers(0, 1)),
+        st.tuples(st.just("delseries"), st.integers(0, 2)),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestTornWriteRecoveryProperty:
+    """Satellite: ``strict=False`` recovery is *exact*, not best-effort.
+
+    A WAL damaged at an arbitrary byte offset — truncated (torn write)
+    or bit-flipped (media damage) — must recover precisely the blocks
+    the framing rules promise, on single and sharded stores alike:
+
+    - truncation keeps every block wholly inside the surviving prefix;
+    - a flip under CRC cover (type byte, crc field, payload) loses
+      exactly the damaged block — the length prefix bounds the blast;
+    - a flip in the length field can't be framed past: the clean prefix
+      before it survives, the damaged block never resurrects.
+    """
+
+    def build_wal(self, spec):
+        """Write one block per spec entry (in memory); returns the raw
+        bytes, the decoded items, and each block's ``(start, end)``
+        byte range."""
+        buf = io.BytesIO()
+        w = SegmentWriter(buf)
+        for i, (kind, n) in enumerate(spec):
+            if kind == "batch":
+                b = BatchBuilder()
+                for j in range(n + 1):
+                    b.add("m", 1000 * i + j, float(i), {"node": f"n{j}"})
+                w.write_batch(b.build())
+            elif kind == "del":
+                w.delete_before(
+                    1000 * i, exclude_suffix=".rollup" if n else None
+                )
+            else:
+                w.delete_series_before(
+                    parse_series_key(f"m{{node=n{n}}}"), 1000 * i
+                )
+        w.flush()
+        raw = buf.getvalue()
+        items = list(iter_segments(io.BytesIO(raw)))
+        ranges, off = [], len(SEGMENT_MAGIC)
+        while off < len(raw):
+            _t, plen, _crc = _HDR.unpack_from(raw, off)
+            ranges.append((off, off + _HDR.size + plen))
+            off += _HDR.size + plen
+        assert len(ranges) == len(items)
+        return raw, items, ranges
+
+    @staticmethod
+    def replay(items, store):
+        for item in items:
+            if isinstance(item, DeleteSeriesBefore):
+                store.delete_series_before(item.key, item.cutoff)
+            elif isinstance(item, DeleteBefore):
+                store.delete_before(
+                    item.cutoff, exclude_suffix=item.exclude_suffix
+                )
+            else:
+                store.put_batch(item)
+        return store
+
+    def assert_recovers(self, raw, expected_items):
+        """Lenient recovery equals a replay of ``expected_items`` — on a
+        single store and byte-identically on a 3-shard store."""
+        single = load(io.BytesIO(raw), strict=False)
+        assert dumps(single) == dumps(self.replay(expected_items, TSDB()))
+        sharded = load(io.BytesIO(raw), strict=False, into=ShardedTSDB(3))
+        assert dumps(sharded) == dumps(
+            self.replay(expected_items, ShardedTSDB(3))
+        )
+
+    @given(spec=block_specs, frac=st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_recovers_longest_valid_prefix(self, spec, frac):
+        raw, items, ranges = self.build_wal(spec)
+        lo = len(SEGMENT_MAGIC)
+        cut = lo + int(frac * (len(raw) - lo))
+        torn = raw[:cut]
+        survivors = [it for it, (_s, e) in zip(items, ranges) if e <= cut]
+        boundaries = {lo} | {e for _s, e in ranges}
+        if cut not in boundaries:
+            # A cut on a block boundary is a clean (shorter) file; any
+            # other cut leaves a torn block that strict mode rejects.
+            with pytest.raises(SegmentCorruption, match="truncated"):
+                list(iter_segments(io.BytesIO(torn)))
+        self.assert_recovers(torn, survivors)
+
+    @given(spec=block_specs, frac=st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_byte_flip_loses_at_most_the_damaged_block(self, spec, frac):
+        raw, items, ranges = self.build_wal(spec)
+        lo = len(SEGMENT_MAGIC)
+        offset = min(lo + int(frac * (len(raw) - lo)), len(raw) - 1)
+        damaged = bytearray(raw)
+        damaged[offset] ^= 0xFF
+        damaged = bytes(damaged)
+        hit = next(i for i, (s, e) in enumerate(ranges) if s <= offset < e)
+        start, _end = ranges[hit]
+        with pytest.raises(SegmentCorruption):
+            list(iter_segments(io.BytesIO(damaged)))
+        in_length_field = start + 1 <= offset < start + 5
+        if not in_length_field:
+            # CRC-covered damage (type byte, crc field, payload): the
+            # length prefix bounds the blast — exactly one block lost.
+            self.assert_recovers(
+                damaged, [it for i, it in enumerate(items) if i != hit]
+            )
+        else:
+            # A lied-about length breaks framing: the clean prefix is
+            # guaranteed, the damaged block must never resurrect, and
+            # nothing un-CRC'd is ever invented.
+            recovered = list(iter_segments(io.BytesIO(damaged), strict=False))
+            recovered_ts = {
+                int(t)
+                for b in recovered
+                if isinstance(b, PointBatch)
+                for t in b.timestamps
+            }
+            all_ts = {
+                int(t)
+                for b in items
+                if isinstance(b, PointBatch)
+                for t in b.timestamps
+            }
+            assert recovered_ts <= all_ts  # nothing invented
+            for it in items[:hit]:  # prefix blocks always survive
+                if isinstance(it, PointBatch):
+                    assert {int(t) for t in it.timestamps} <= recovered_ts
+            if isinstance(items[hit], PointBatch):  # damage never returns
+                assert not (
+                    {int(t) for t in items[hit].timestamps} & recovered_ts
+                )
