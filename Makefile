@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-sharded test-region test-persist test-query test-catalog test-replication serve-test bench bench-sharded bench-region bench-persist bench-query bench-serve bench-catalog bench-replication lint
+.PHONY: test test-sharded test-region test-persist test-query test-catalog test-replication test-tier serve-test bench bench-sharded bench-region bench-persist bench-query bench-serve bench-catalog bench-replication bench-tier lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -44,6 +44,13 @@ test-catalog:
 test-replication:
 	$(PYTHON) -m pytest -q tests/test_replication.py
 
+# The tiered-storage gate: compact(log) restores byte-identical to
+# replay(log) under random op interleavings (hypothesis, both formats,
+# single + sharded), crash-safe swap-in, cold-shard paging equivalence,
+# rollup-tier cascade journaled through both WAL formats.
+test-tier:
+	$(PYTHON) -m pytest -q tests/test_tsdb_tier.py
+
 bench:
 	$(PYTHON) -m pytest -q benchmarks/test_ingest_throughput.py -s
 
@@ -80,6 +87,11 @@ bench-catalog:
 # ingest and records the replication section.
 bench-replication:
 	$(PYTHON) -m pytest -q benchmarks/test_replication_throughput.py -s
+
+# Marker-heavy aged-WAL compaction and cold-start paging; gates the
+# >=5x compacted-replay speedup and records the tier section.
+bench-tier:
+	$(PYTHON) -m pytest -q benchmarks/test_tier.py -s
 
 lint:
 	$(PYTHON) -m ruff check src/

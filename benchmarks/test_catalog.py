@@ -22,15 +22,13 @@ with the metadata-op latencies alongside.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 import pytest
 
 from repro.tsdb import TSDB
 
-RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_ingest.json"
+from bench_io import update_section  # noqa: E402
 
 METRICS = [
     "air.co2.ppm", "air.no2.ugm3", "air.pm10.ugm3", "weather.temperature.c",
@@ -117,11 +115,7 @@ def test_indexed_match_vs_scan(store):
         section[f"{op}_ms"] = round(ms, 4)
 
     section["min_speedup"] = round(min(s for _, s in speedups), 1)
-    existing = (
-        json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists() else {}
-    )
-    existing["catalog"] = section
-    RESULT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+    update_section("catalog", section)
     print(f"\nBENCH catalog: {N_SERIES:,} series; " + "; ".join(
         f"{name} {section['filters'][name]['speedup']}x"
         for name in FILTERS))

@@ -13,9 +13,7 @@ exercised, not bypassed.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -26,7 +24,7 @@ N_POINTS = 1_000_000
 N_NODES = 25
 METRICS = ["air.co2.ppm", "air.no2.ugm3", "air.pm10.ugm3", "weather.temperature.c"]
 N_SERIES = N_NODES * len(METRICS)
-RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_ingest.json"
+from bench_io import update_section, update_top_level  # noqa: E402
 
 
 @pytest.fixture(scope="module")
@@ -150,11 +148,7 @@ def test_batch_ingest_at_least_5x_faster_than_per_point(workload):
             "median_latency_ms": round(query_ms, 2),
         },
     }
-    existing = (
-        json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists() else {}
-    )
-    existing.update(report)
-    RESULT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+    update_top_level(report)
     print(f"\nBENCH_ingest: per-point {n / per_point_s:,.0f} pts/s, "
           f"batch {n / batch_s:,.0f} pts/s, speedup {speedup:.1f}x, "
           f"query {query_ms:.1f} ms")
@@ -201,16 +195,12 @@ def test_sharded_ingest_and_query(workload):
         print(f"BENCH_sharded[{shards}]: ingest {n / secs:,.0f} pts/s, "
               f"query {query_ms:.1f} ms")
 
-    existing = (
-        json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists() else {}
-    )
-    existing["sharded"] = {
+    update_section("sharded", {
         "flush_size": FLUSH_SIZE,
         "single_store_ingest_seconds": round(single_s, 3),
         "single_store_query_median_latency_ms": round(single_query_ms, 2),
         "shards": per_shard_count,
-    }
-    RESULT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+    })
 
     # Routing overhead stays bounded: sharded ingest must remain within
     # 3x of the single store (it is the same columnar path + crc32).

@@ -10,7 +10,6 @@ protocol, while restoring byte-identical store state.
 
 from __future__ import annotations
 
-import json
 import time
 
 import numpy as np
@@ -24,10 +23,10 @@ from repro.tsdb import (
     snapshot,
 )
 
+from bench_io import update_section  # noqa: E402
 from test_ingest_throughput import (  # same dir; pytest puts it on sys.path
     FLUSH_SIZE,
     N_SERIES,
-    RESULT_PATH,
     columnar_ingest,
     series_tags,
     workload,  # noqa: F401  (pytest fixture)
@@ -140,9 +139,7 @@ def test_binary_persistence_at_least_10x_faster(workload, tmp_path):  # noqa: F8
             "snapshot_restore": round(snap_restore_speedup, 1),
         },
     }
-    existing = json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists() else {}
-    existing["persistence"] = report
-    RESULT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+    update_section("persistence", report)
     print(
         f"\nBENCH_persist: append {n / text_append_s:,.0f} -> "
         f"{n / bin_append_s:,.0f} pts/s ({text_append_s / bin_append_s:.1f}x), "

@@ -25,10 +25,8 @@ results (asserted here on every shard count).
 
 from __future__ import annotations
 
-import json
 import time
 from collections import defaultdict
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -49,7 +47,7 @@ N_POINTS = 1_000_000
 N_NODES = 25
 METRICS = ["air.co2.ppm", "air.no2.ugm3", "air.pm10.ugm3", "weather.temperature.c"]
 N_SERIES = N_NODES * len(METRICS)
-RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_ingest.json"
+from bench_io import update_section  # noqa: E402
 SHARD_COUNTS = (1, 4, 8)
 FLUSH_SIZE = 100_000
 REPEATS = 5
@@ -294,9 +292,7 @@ def test_batched_dashboard_beats_sequential(workload):
               f"batched-serial {plan_s * 1e3:.1f} ms, "
               f"batched {batch_s * 1e3:.1f} ms ({speedup:.2f}x vs seed)")
 
-    existing = json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists() else {}
-    existing["query"] = report
-    RESULT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+    update_section("query", report)
 
     # The acceptance gate: batched multi-query execution on the 4-shard
     # store beats N sequential seed run() calls by >=2x.

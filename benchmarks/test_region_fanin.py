@@ -14,9 +14,7 @@ throughout.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -29,7 +27,7 @@ POINTS_PER_CITY = 200_000
 BATCH_ROWS = 10_000
 N_NODES = 10
 METRICS = ("air.co2.ppm", "air.no2.ugm3", "weather.temperature.c")
-RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_ingest.json"
+from bench_io import update_section  # noqa: E402
 
 
 def build_city_batches(city: str, seed: int) -> list[PointBatch]:
@@ -81,15 +79,14 @@ def test_fanin_throughput(n_cities):
         assert stats["flushed_points"] == POINTS_PER_CITY
 
     pts_per_sec = total / elapsed
-    existing = json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists() else {}
-    section = existing.setdefault("region_fanin", {})
-    section["store"] = "sharded-4"
-    section["points_per_city"] = POINTS_PER_CITY
-    section.setdefault("cities", {})[str(n_cities)] = {
-        "seconds": round(elapsed, 3),
-        "points_per_sec": round(pts_per_sec),
-    }
-    RESULT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+    update_section("region_fanin", {
+        "store": "sharded-4",
+        "points_per_city": POINTS_PER_CITY,
+        "cities": {str(n_cities): {
+            "seconds": round(elapsed, 3),
+            "points_per_sec": round(pts_per_sec),
+        }},
+    }, merge=True)
     print(
         f"\nBENCH_region[{n_cities} cities]: {total:,} pts in {elapsed:.3f}s "
         f"({pts_per_sec:,.0f} pts/s through the fan-in layer)"

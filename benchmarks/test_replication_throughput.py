@@ -22,11 +22,9 @@ converge after an outage.
 from __future__ import annotations
 
 import asyncio
-import json
 import threading
 import time
 from contextlib import contextmanager
-from pathlib import Path
 
 import numpy as np
 
@@ -34,7 +32,7 @@ from repro.replication import Follower, ReplicatedStore, SegmentShipper
 from repro.serve import QueryClient, QueryServer
 from repro.tsdb import BatchBuilder, Query, TSDB, wire
 
-RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_ingest.json"
+from bench_io import update_section  # noqa: E402
 
 N_NODES = 10
 ROWS_PER_NODE = 50          # 500 points per batch / log record
@@ -179,9 +177,7 @@ def test_replication_lag_catchup_failover():
           f"({report['catchup']['speedup_vs_live_ingest']}x live), "
           f"failover {report['failover']['promote_to_first_query_ms']} ms")
 
-    existing = json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists() else {}
-    existing["replication"] = report
-    RESULT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+    update_section("replication", report)
 
     # The acceptance gate: catch-up replay out-runs paced live ingest by
     # at least 5x, so a standby that missed an outage converges.

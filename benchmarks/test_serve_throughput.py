@@ -24,11 +24,9 @@ uncached planner output.
 from __future__ import annotations
 
 import asyncio
-import json
 import threading
 import time
 from contextlib import contextmanager
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -40,7 +38,7 @@ N_POINTS = 1_000_000
 N_NODES = 25
 METRICS = ["air.co2.ppm", "air.no2.ugm3", "air.pm10.ugm3", "weather.temperature.c"]
 N_SERIES = N_NODES * len(METRICS)
-RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_ingest.json"
+from bench_io import update_section  # noqa: E402
 FLUSH_SIZE = 100_000
 REPEATS = 5
 N_CLIENTS = 4
@@ -251,9 +249,7 @@ def test_cached_refresh_beats_cold(store):
           f"{incremental_ms} ms, sustained {qps} q/s "
           f"({N_CLIENTS} clients)")
 
-    existing = json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists() else {}
-    existing["serve"] = report
-    RESULT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+    update_section("serve", report)
 
     # The acceptance gate: a cached dashboard refresh answers at least
     # 5x faster than the cold batch it replays.

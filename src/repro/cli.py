@@ -349,12 +349,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
     :class:`~repro.replication.ReplicatedStore` and a shipper streams
     its history (bootstrapped from a binary snapshot of the simulated
     window) plus any later writes to a ``repro follow`` standby.
+
+    With ``--wal PATH`` the store journals through a
+    :class:`~repro.tsdb.tier.DurableStore` (the simulated window is
+    snapshotted as the journal's base, later writes append); adding
+    ``--compact-every SECONDS`` runs the tiered-storage compactor over
+    the journal in the background, rewriting it whenever the trigger
+    policy finds it fragmented.
     """
     import asyncio
     import io
     import signal
 
     from .serve import QueryServer, TenantPolicy
+
+    if args.compact_every is not None and not args.wal:
+        raise SystemExit("serve: --compact-every requires --wal PATH")
 
     eco, city = _build(args.city, args.hours, args.seed, args.shards)
     store = city.db
@@ -369,6 +379,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         # a binary snapshot so the follower converges on the full store.
         log.append_segment(io.BytesIO(dumps(store, format="binary")))
         store = ReplicatedStore(store, log)
+    durable = None
+    if args.wal:
+        from .tsdb import snapshot
+        from .tsdb.tier import DurableStore
+
+        # The journal's base is the simulated window; every later write
+        # appends, so replaying the file rebuilds the served store.
+        snapshot(store, args.wal, format="binary")
+        store = durable = DurableStore(store, args.wal)
     policy = TenantPolicy(
         max_pending=args.max_pending,
         backpressure=args.backpressure,
@@ -402,11 +421,51 @@ def cmd_serve(args: argparse.Namespace) -> int:
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGTERM, signal.SIGINT):
             loop.add_signal_handler(sig, stop.set)
+        compact_task = None
+        if durable is not None and args.compact_every is not None:
+            from .tsdb.tier import Compactor
+
+            compactor = Compactor(durable.wal_path)
+            print(f"journaling to {durable.wal_path} "
+                  f"(compacting every {args.compact_every:g}s)", flush=True)
+
+            def _compact_once():
+                # Quiesce the journal while the compactor swaps the file
+                # out from under it; writers block on the store lock for
+                # the (short) duration of the rewrite.
+                with durable.suspend_wal():
+                    return compactor.maybe_compact()
+
+            async def _compact_loop() -> None:
+                while True:
+                    await asyncio.sleep(args.compact_every)
+                    result = await loop.run_in_executor(None, _compact_once)
+                    if result is not None:
+                        print(
+                            f"compacted {result.path}: "
+                            f"{result.blocks_before} -> {result.blocks_after} "
+                            f"blocks, {result.bytes_before} -> "
+                            f"{result.bytes_after} bytes "
+                            f"({result.bytes_ratio:.2f}x)",
+                            flush=True,
+                        )
+
+            compact_task = loop.create_task(_compact_loop())
+        elif durable is not None:
+            print(f"journaling to {durable.wal_path}", flush=True)
         await stop.wait()
         print("draining...", flush=True)
+        if compact_task is not None:
+            compact_task.cancel()
+            try:
+                await compact_task
+            except asyncio.CancelledError:
+                pass
         await server.stop(timeout=10.0)
         if shipper is not None:
             await shipper.stop()
+        if durable is not None:
+            durable.close()
 
     try:
         asyncio.run(_main())
@@ -513,6 +572,73 @@ def cmd_convert_log(args: argparse.Namespace) -> int:
         f"converted {args.src} -> {args.dst} [{args.to}]: "
         f"{points} points, {markers} retention markers"
     )
+    return 0
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    """Rewrite a WAL/snapshot (or a sharded snapshot directory) in place.
+
+    Replays the log leniently, resolves retention markers against the
+    data, and atomically swaps in a snapshot with few large sorted
+    blocks — restoring the compacted file is byte-identical to replaying
+    the original, just much cheaper.  With ``--max-blocks`` /
+    ``--max-markers`` the rewrite is conditional on the trigger policy
+    (files already compact are left untouched); by default it always
+    runs.
+    """
+    from pathlib import Path
+
+    from .tsdb import LogCorruption, SegmentCorruption
+    from .tsdb.tier import CompactionPolicy, compact_dir, compact_log
+
+    policy = None
+    if args.max_blocks is not None or args.max_markers is not None:
+        policy = CompactionPolicy(
+            max_blocks=args.max_blocks if args.max_blocks is not None else 256,
+            max_marker_blocks=(
+                args.max_markers if args.max_markers is not None else 16
+            ),
+        )
+
+    def _report(result) -> None:
+        print(
+            f"compacted {result.path}: {result.blocks_before} -> "
+            f"{result.blocks_after} blocks, {result.bytes_before} -> "
+            f"{result.bytes_after} bytes ({result.bytes_ratio:.2f}x), "
+            f"{result.markers_resolved} markers resolved, "
+            f"{result.points} points"
+        )
+
+    path = Path(args.path)
+    try:
+        if path.is_dir():
+            results = compact_dir(path, policy=policy, strict=not args.lenient)
+            if not results:
+                print(f"{path}: all shards already compact")
+            for _, result in sorted(results.items()):
+                _report(result)
+        else:
+            if policy is not None:
+                from .tsdb.tier import Compactor
+
+                result = Compactor(
+                    path, policy=policy, strict=not args.lenient
+                ).maybe_compact()
+                if result is None:
+                    print(f"{path}: already compact")
+                    return 0
+            else:
+                result = compact_log(path, strict=not args.lenient)
+            _report(result)
+    except FileNotFoundError as exc:
+        raise SystemExit(f"compact: {exc}")
+    except (LogCorruption, SegmentCorruption) as exc:
+        raise SystemExit(
+            f"compact: {args.path} is corrupt ({exc}); rerun with --lenient "
+            "to skip damaged entries"
+        )
+    except ValueError as exc:
+        raise SystemExit(f"compact: {exc}")
     return 0
 
 
@@ -673,6 +799,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--replicate-to", default=None, metavar="HOST:PORT",
         help="ship the store (snapshot bootstrap + live writes) to a "
              "'repro follow' hot standby at this address")
+    p_serve.add_argument(
+        "--wal", default=None, metavar="PATH",
+        help="journal the store to a binary WAL at PATH (snapshot "
+             "bootstrap + every later write)")
+    p_serve.add_argument(
+        "--compact-every", type=float, default=None, metavar="SECONDS",
+        help="with --wal, run the compaction trigger policy over the "
+             "journal at this interval")
     p_serve.set_defaults(func=cmd_serve)
 
     p_follow = sub.add_parser(
@@ -707,6 +841,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--lenient", action="store_true",
         help="skip corrupt lines/blocks instead of failing")
     p_conv.set_defaults(func=cmd_convert_log)
+
+    p_compact = sub.add_parser(
+        "compact",
+        help="rewrite a WAL/snapshot (or sharded snapshot dir) as its "
+             "compacted form, in place",
+    )
+    p_compact.add_argument(
+        "path",
+        help="log file or snapshot directory (shard files found by name)")
+    p_compact.add_argument(
+        "--max-blocks", type=int, default=None, metavar="N",
+        help="only compact files carrying more than N blocks "
+             "(enables the trigger policy)")
+    p_compact.add_argument(
+        "--max-markers", type=int, default=None, metavar="N",
+        help="only compact files carrying more than N retention markers "
+             "(enables the trigger policy)")
+    p_compact.add_argument(
+        "--lenient", action="store_true",
+        help="skip corrupt blocks instead of failing — compacts a "
+             "damaged log down to its recoverable prefix")
+    p_compact.set_defaults(func=cmd_compact)
 
     p_demo = sub.add_parser("demo", help="run the full EDBT demo")
     p_demo.set_defaults(func=cmd_demo)

@@ -239,7 +239,7 @@ class RegionalHub:
         self.pump(now=now)
         for lane in self._lanes.values():
             policy = lane.policy
-            if policy.retention is None:
+            if policy.retention is None and policy.tiers is None:
                 continue
             due = (
                 lane.last_retention_at is None
@@ -339,10 +339,11 @@ class RegionalHub:
     # Per-city retention
     # ------------------------------------------------------------------
     def enforce_retention(self, now: int) -> dict[str, RolledUp]:
-        """Run every lane's retention policy now; returns per-city results."""
+        """Run every lane's retention (or tier) policy now; returns
+        per-city results."""
         out: dict[str, RolledUp] = {}
         for city, lane in self._lanes.items():
-            if lane.policy.retention is None:
+            if lane.policy.retention is None and lane.policy.tiers is None:
                 continue
             out[city] = self._enforce_lane_retention(lane, now)
         return out
@@ -357,9 +358,21 @@ class RegionalHub:
         while lane.queue.backlog_points or lane.ingress.backpressured:
             if self.pump_city(city, now=now, limit=None) == 0:
                 break
-        result = lane.policy.retention.enforce_scoped(
-            self.store, now, tags={"city": lane.policy.city}
-        )
+        if lane.policy.tiers is not None:
+            report = lane.policy.tiers.enforce(
+                self.store, now, tags={"city": lane.policy.city}
+            )
+            # Lane stats track totals; the final stage's cutoff is the
+            # oldest horizon the pass touched.
+            result = RolledUp(
+                dropped_points=report.dropped_points,
+                rolled_points=report.rolled_points,
+                cutoff=report.stages[-1].cutoff,
+            )
+        else:
+            result = lane.policy.retention.enforce_scoped(
+                self.store, now, tags={"city": lane.policy.city}
+            )
         lane.last_retention_at = int(now)
         lane.last_retention = result
         lane.retention_dropped += result.dropped_points

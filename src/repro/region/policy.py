@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from ..tsdb.model import validate_name
 from ..tsdb.retention import RetentionPolicy
+from ..tsdb.tier import TierPolicy
 from .queue import Backpressure
 
 
@@ -26,7 +27,10 @@ class CityPolicy:
     throttles how much one hub tick moves into the regional store (None
     = unbounded — drain everything each tick); ``retention`` (with
     ``retention_interval_s``) drives per-city retention/rollup scoped to
-    series tagged ``city=<name>``.
+    series tagged ``city=<name>``; ``tiers`` instead cascades the city's
+    aging data down through resolutions (raw → 5m → 1h, see
+    :class:`~repro.tsdb.tier.TierPolicy`) on the same interval —
+    mutually exclusive with ``retention``, which is single-stage.
     """
 
     city: str
@@ -35,6 +39,7 @@ class CityPolicy:
     max_flush_points: int | None = None
     retention: RetentionPolicy | None = None
     retention_interval_s: int = 3600
+    tiers: TierPolicy | None = None
 
     def __post_init__(self) -> None:
         validate_name(self.city, "city")
@@ -44,6 +49,11 @@ class CityPolicy:
             raise ValueError("max_flush_points must be positive (or None)")
         if self.retention_interval_s <= 0:
             raise ValueError("retention_interval_s must be positive")
+        if self.retention is not None and self.tiers is not None:
+            raise ValueError(
+                "retention and tiers are mutually exclusive: a TierPolicy "
+                "already owns the city's whole aging cascade"
+            )
         object.__setattr__(
             self, "backpressure", Backpressure.coerce(self.backpressure)
         )

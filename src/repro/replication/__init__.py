@@ -20,7 +20,7 @@ the acknowledged input.
 """
 
 from .follower import Follower, FollowerStats
-from .log import ReplicatedStore, ReplicationLog
+from .log import DEFAULT_FOLLOWER, ReplicatedStore, ReplicationLog
 from .shipper import (
     MAX_RECORD_BYTES,
     REPLICATION_MAGIC,
@@ -30,6 +30,7 @@ from .shipper import (
 )
 
 __all__ = [
+    "DEFAULT_FOLLOWER",
     "Follower",
     "FollowerStats",
     "MAX_RECORD_BYTES",

@@ -50,24 +50,41 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..tsdb.interface import TimeSeriesStore
 
 
+#: Cursor name used when ``ack`` is called without a follower — the
+#: single-follower deployments' implicit subscriber.
+DEFAULT_FOLLOWER = "default"
+
+
 class ReplicationLog:
     """Thread-safe buffer of ``(seq, framed-block)`` records.
 
-    Sequence numbers start at 1 and are contiguous; ``acked_seq`` is the
-    floor below which records have been acknowledged by the follower and
-    dropped.  ``pending_after`` serves the shipper's cursor reads in
-    O(result) thanks to the contiguity (seq → list index is arithmetic,
-    not a scan).
+    Sequence numbers start at 1 and are contiguous; ``pending_after``
+    serves the shipper's cursor reads in O(result) thanks to the
+    contiguity (seq → list index is arithmetic, not a scan).
+
+    Acknowledgment is **per follower**: each subscriber acks under its
+    own cursor name, and records are dropped only below the *minimum*
+    acked sequence across every known follower — so one log can feed N
+    shippers (fan-out) without a fast follower's acks releasing records
+    a slow one still needs.  ``ack`` without a follower name uses the
+    :data:`DEFAULT_FOLLOWER` cursor, preserving the single-follower
+    behaviour exactly.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._records: list[tuple[int, bytes]] = []
         self._next = 1
-        self._acked = 0
+        self._cursors: dict[str, int] = {}
         self._listeners: list[tuple["asyncio.AbstractEventLoop", "asyncio.Event"]] = []
         self.appended_records = 0
         self.appended_points = 0
+
+    def _trimmed_locked(self) -> int:
+        """Highest seq already dropped from the buffer (0 = none):
+        records are contiguous, so it is everything before the first
+        retained record — or everything, when the buffer drained."""
+        return self._records[0][0] - 1 if self._records else self._next - 1
 
     # -- introspection ---------------------------------------------------
     @property
@@ -77,8 +94,43 @@ class ReplicationLog:
 
     @property
     def acked_seq(self) -> int:
-        """Highest sequence number the follower has acknowledged."""
-        return self._acked
+        """Highest sequence acknowledged by *every* known follower —
+        the trim floor (0 until any follower acks)."""
+        with self._lock:
+            return min(self._cursors.values(), default=0)
+
+    def acked_for(self, follower: str) -> int:
+        """One follower's own acked high-water mark.
+
+        An unknown follower reads as the trim floor at registration
+        time semantics: 0 if nothing was ever trimmed, else whatever
+        was already dropped (those records can never be shipped to it).
+        """
+        with self._lock:
+            return self._cursors.get(follower, self._trimmed_locked())
+
+    @property
+    def follower_cursors(self) -> Mapping[str, int]:
+        """Snapshot of every registered follower's acked cursor."""
+        with self._lock:
+            return dict(self._cursors)
+
+    def register_follower(self, follower: str) -> None:
+        """Make a follower's cursor count toward the trim floor *before*
+        its first ack — otherwise records acked by faster followers in
+        the meantime would be dropped out from under it.  Idempotent.
+        New cursors start at the current trim floor: anything already
+        dropped can never be shipped to this follower anyway.
+        """
+        with self._lock:
+            self._cursors.setdefault(follower, self._trimmed_locked())
+
+    def forget_follower(self, follower: str) -> None:
+        """Drop a follower's cursor (it no longer holds records back)
+        and trim to the remaining followers' floor."""
+        with self._lock:
+            if self._cursors.pop(follower, None) is not None:
+                self._trim_locked()
 
     def __len__(self) -> int:
         """Records retained (appended but not yet acknowledged)."""
@@ -143,17 +195,23 @@ class ReplicationLog:
         return seq
 
     # -- ship side (called from the shipper's event loop) ----------------
-    def ack(self, seq: int) -> None:
-        """Acknowledge every record up to ``seq``; they are dropped."""
+    def ack(self, seq: int, *, follower: str = DEFAULT_FOLLOWER) -> None:
+        """Record ``follower``'s acknowledgment of every record up to
+        ``seq``; records are dropped only once *every* known follower's
+        cursor has passed them (trim to the minimum, not the maximum)."""
         with self._lock:
-            if seq <= self._acked:
+            if seq <= self._cursors.get(follower, -1):
                 return
-            self._acked = seq
-            if self._records:
-                first = self._records[0][0]
-                drop = min(len(self._records), seq + 1 - first)
-                if drop > 0:
-                    del self._records[:drop]
+            self._cursors[follower] = max(seq, self._cursors.get(follower, 0))
+            self._trim_locked()
+
+    def _trim_locked(self) -> None:
+        if not self._records:
+            return
+        floor = min(self._cursors.values(), default=0)
+        drop = min(len(self._records), floor + 1 - self._records[0][0])
+        if drop > 0:
+            del self._records[:drop]
 
     def pending_after(
         self, seq: int, *, limit: int | None = None
@@ -278,4 +336,4 @@ class ReplicatedStore(StoreApi):
         return n
 
 
-__all__ = ["ReplicatedStore", "ReplicationLog"]
+__all__ = ["DEFAULT_FOLLOWER", "ReplicatedStore", "ReplicationLog"]

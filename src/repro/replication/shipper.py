@@ -34,7 +34,7 @@ import random
 import struct
 from dataclasses import dataclass, field
 
-from .log import ReplicationLog
+from .log import DEFAULT_FOLLOWER, ReplicationLog
 
 #: First bytes of every replication connection (includes the version).
 REPLICATION_MAGIC = b"RREP\x00\x01"
@@ -73,6 +73,10 @@ class SegmentShipper:
     as a task).  The shipper never blocks the write path: writers append
     to the log and return; shipping is asynchronous by construction —
     the paper's sensor ingest must not stall on a WAN hiccup.
+
+    ``follower`` names this shipper's ack cursor in the log: give each
+    shipper on a shared log a distinct name and the log fans out to all
+    of them, trimming only below the slowest follower's cursor.
     """
 
     log: ReplicationLog
@@ -84,6 +88,7 @@ class SegmentShipper:
     jitter: float = 0.25
     connect_timeout: float = 5.0
     seed: int | None = None
+    follower: str = DEFAULT_FOLLOWER
     stats: ShipperStats = field(default_factory=ShipperStats)
 
     def __post_init__(self) -> None:
@@ -95,6 +100,10 @@ class SegmentShipper:
         self._wake: asyncio.Event | None = None
         self._cursor = 0  # highest seq written to the current connection
         self._max_shipped = 0  # highest seq ever put on any connection
+        # Hold records from the moment the shipper exists: without the
+        # cursor registered, a faster sibling's acks could trim records
+        # this follower has not seen yet.
+        self.log.register_follower(self.follower)
 
     # -- lifecycle -------------------------------------------------------
     def start(self) -> asyncio.Task:
@@ -161,7 +170,7 @@ class SegmentShipper:
         (applied,) = _U64.unpack(await reader.readexactly(8))
         # Catch-up replay starts exactly at the follower's high-water
         # mark: everything at or below it is already applied over there.
-        self.log.ack(applied)
+        self.log.ack(applied, follower=self.follower)
         self._cursor = applied
         self.stats.connects += 1
         sender = asyncio.create_task(self._send_loop(writer))
@@ -181,7 +190,7 @@ class SegmentShipper:
     async def _send_loop(self, writer: asyncio.StreamWriter) -> None:
         assert self._wake is not None
         while not self._stopping:
-            free = self.window - (self._cursor - self.log.acked_seq)
+            free = self.window - (self._cursor - self.log.acked_for(self.follower))
             records = (
                 self.log.pending_after(self._cursor, limit=free) if free > 0 else []
             )
@@ -204,21 +213,22 @@ class SegmentShipper:
         assert self._wake is not None
         while True:
             (seq,) = _U64.unpack(await reader.readexactly(8))
-            self.log.ack(seq)
+            self.log.ack(seq, follower=self.follower)
             self.stats.acks_received += 1
             self._wake.set()  # acks free window slots for the sender
 
     # -- synchronization helpers ----------------------------------------
     @property
     def lag_records(self) -> int:
-        """Records appended but not yet acknowledged by the follower."""
-        return self.log.last_seq - self.log.acked_seq
+        """Records appended but not yet acknowledged by *this* follower."""
+        return self.log.last_seq - self.log.acked_for(self.follower)
 
     async def wait_caught_up(self, timeout: float | None = None) -> None:
-        """Await full acknowledgment of everything currently in the log."""
+        """Await full acknowledgment by this follower of everything
+        currently in the log."""
         loop = asyncio.get_running_loop()
         deadline = None if timeout is None else loop.time() + timeout
-        while self.log.acked_seq < self.log.last_seq:
+        while self.log.acked_for(self.follower) < self.log.last_seq:
             if deadline is not None and loop.time() >= deadline:
                 raise TimeoutError(
                     f"follower {self.lag_records} records behind after {timeout}s"

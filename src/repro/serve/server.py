@@ -64,18 +64,25 @@ class TenantPolicy:
     ``max_pending`` bounds the lane's queued-but-not-yet-running
     requests; ``backpressure`` picks the overflow behaviour (the same
     vocabulary as the region fan-in queues); ``parallelism`` is how
-    many of the tenant's requests may execute concurrently.
+    many of the tenant's requests may execute concurrently;
+    ``max_match_series`` caps how many series one of the tenant's
+    queries may fan out over — it overrides the server-wide limit for
+    this lane (tighter *or* looser), so one tenant's wildcard storms
+    can be capped without throttling operators.
     """
 
     max_pending: int = 64
     backpressure: Backpressure | str = Backpressure.BLOCK
     parallelism: int = 2
+    max_match_series: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_pending <= 0:
             raise ValueError("max_pending must be positive")
         if self.parallelism <= 0:
             raise ValueError("parallelism must be positive")
+        if self.max_match_series is not None and self.max_match_series <= 0:
+            raise ValueError("max_match_series must be positive")
         object.__setattr__(
             self, "backpressure", Backpressure.coerce(self.backpressure)
         )
@@ -298,7 +305,7 @@ class QueryServer:
             if isinstance(job.payload, dict) and "catalog" in job.payload:
                 return self._serve_catalog(job.payload)
             queries = wire.decode_request(job.payload)
-            self._guard_match_cardinality(queries)
+            self._guard_match_cardinality(queries, tenant=job.tenant)
             if job.refresh:
                 results = [self.refresher.run(q) for q in queries]
             else:
@@ -322,7 +329,7 @@ class QueryServer:
         self.catalog_cache.insert(self.caching, req, validators, response)
         return response
 
-    def _guard_match_cardinality(self, queries) -> None:
+    def _guard_match_cardinality(self, queries, *, tenant: str | None = None) -> None:
         """Reject queries whose tag filter fans out over too many series.
 
         The serving-side guard-rail: a wildcard query over a
@@ -331,9 +338,15 @@ class QueryServer:
         set, each sub-query's match cardinality is checked against the
         catalog — an O(postings) set intersection — before any scan
         runs, and oversized queries come back as an in-band
-        ``CardinalityLimitError``.
+        ``CardinalityLimitError``.  A tenant whose
+        :class:`TenantPolicy` carries its own ``max_match_series`` is
+        held to that per-lane limit instead of the server-wide one.
         """
         limit = self.max_match_series
+        if tenant is not None:
+            policy = self._tenant_policies.get(tenant, self._default_policy)
+            if policy.max_match_series is not None:
+                limit = policy.max_match_series
         if limit is None:
             return
         seen: set = set()
@@ -350,9 +363,10 @@ class QueryServer:
                 seen.add(probe)
                 matched = self.caching.cardinality(sub.metric, sub.tags)
                 if matched > limit:
+                    scope = "tenant's" if limit != self.max_match_series else "server's"
                     raise CardinalityLimitError(
                         f"query on metric {sub.metric!r} matches {matched} "
-                        f"series, over the server's {limit}-series limit "
+                        f"series, over the {scope} {limit}-series limit "
                         f"(narrow the tag filter)",
                         limit=limit,
                     )

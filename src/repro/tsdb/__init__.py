@@ -60,6 +60,7 @@ from .persistence import (
 )
 from .segments import (
     SegmentCorruption,
+    SegmentStats,
     SegmentWriter,
     decode_block,
     decode_frame,
@@ -67,6 +68,19 @@ from .segments import (
     iter_segments,
     parse_series_key,
     segment_point_count,
+    segment_stats,
+)
+from .tier import (
+    ColdShardPager,
+    CompactionPolicy,
+    CompactionResult,
+    Compactor,
+    DurableStore,
+    Tier,
+    TierPolicy,
+    TierReport,
+    compact_dir,
+    compact_log,
 )
 from .plan import (
     ExprQuery,
@@ -99,10 +113,15 @@ __all__ = [
     "BatchBuilder",
     "CardinalityLimitError",
     "CatalogRequest",
+    "ColdShardPager",
+    "CompactionPolicy",
+    "CompactionResult",
+    "Compactor",
     "DataPoint",
     "DeleteBefore",
     "DeleteSeriesBefore",
     "Downsample",
+    "DurableStore",
     "ExprQuery",
     "ExprResult",
     "FillPolicy",
@@ -132,6 +151,7 @@ __all__ = [
     "RetentionPolicy",
     "RolledUp",
     "SegmentCorruption",
+    "SegmentStats",
     "SegmentWriter",
     "SeriesCatalog",
     "SeriesKey",
@@ -139,12 +159,17 @@ __all__ = [
     "SeriesStore",
     "ShardedTSDB",
     "TSDB",
+    "Tier",
+    "TierPolicy",
+    "TierReport",
     "TimeSeriesStore",
     "WIRE_VERSION",
     "WireError",
     "WireResult",
     "WireSeries",
     "aggregators",
+    "compact_dir",
+    "compact_log",
     "compute_rate",
     "convert_log",
     "decode_block",
@@ -175,6 +200,7 @@ __all__ = [
     "scatter_batch",
     "select",
     "segment_point_count",
+    "segment_stats",
     "shard_for_key",
     "snapshot",
     "validate_name",

@@ -385,6 +385,7 @@ def iter_batches(
     *,
     strict: bool = True,
     format: str = "auto",
+    mmap: bool = False,
 ) -> Iterator[PointBatch | DeleteBefore | DeleteSeriesBefore]:
     """Yield a log's contents as columnar batches plus control markers.
 
@@ -392,10 +393,17 @@ def iter_batches(
     blocks as decoded; text logs accumulate points into
     :class:`BatchBuilder` chunks (flushed at marker boundaries so the
     interleaving of data and retention is preserved exactly).
+
+    ``mmap=True`` applies only to binary path sources: batch columns
+    decode zero-copy out of the page cache (see
+    :func:`~repro.tsdb.segments.iter_segments`); text logs and handles
+    fall back to the streaming read.
     """
     fmt = _coerce_format(source, format)
     if fmt == "binary":
-        yield from iter_segments(source, strict=strict)
+        yield from iter_segments(
+            source, strict=strict, mmap=mmap and isinstance(source, (str, os.PathLike))
+        )
         return
     builder = BatchBuilder()
     for entry in iter_entries(source, strict=strict):
@@ -417,6 +425,7 @@ def load(
     strict: bool = True,
     into: "TimeSeriesStore | None" = None,
     format: str = "auto",
+    mmap: bool = False,
 ) -> "TimeSeriesStore":
     """Replay a WAL or snapshot — either format — into a store.
 
@@ -427,10 +436,12 @@ def load(
     did — including the index pruning of series the deletion emptied.
     ``into`` defaults to a fresh single-store :class:`TSDB`; pass any
     store (e.g. a :class:`~repro.tsdb.sharded.ShardedTSDB`) to replay
-    into it.
+    into it.  ``mmap=True`` makes binary path sources decode zero-copy
+    out of the page cache (the store copies columns on ingest, so the
+    mapping is released as soon as replay finishes).
     """
     db: "TimeSeriesStore" = into if into is not None else TSDB()
-    for item in iter_batches(source, strict=strict, format=format):
+    for item in iter_batches(source, strict=strict, format=format, mmap=mmap):
         if isinstance(item, DeleteBefore):
             db.delete_before(item.cutoff, exclude_suffix=item.exclude_suffix)
         elif isinstance(item, DeleteSeriesBefore):

@@ -48,6 +48,7 @@ positions.
 
 from __future__ import annotations
 
+import mmap as _mmap
 import os
 import struct
 import zlib
@@ -163,8 +164,15 @@ def encode_batch(batch: PointBatch) -> bytes:
     return b"".join(parts)
 
 
-def decode_batch(payload: bytes) -> PointBatch:
-    """Decode a batch payload; columns come straight off ``frombuffer``."""
+def decode_batch(payload: bytes | memoryview) -> PointBatch:
+    """Decode a batch payload; columns come straight off ``frombuffer``.
+
+    Accepts a ``memoryview`` (the mmap read path) as well as ``bytes``:
+    the column arrays are built with ``np.frombuffer`` over whatever
+    buffer came in, so an mmap-backed payload decodes without copying
+    the columns out of the page cache — only the (small) key strings
+    are materialized.
+    """
     off = 0
     try:
         (n_keys,) = _U32.unpack_from(payload, off)
@@ -173,7 +181,9 @@ def decode_batch(payload: bytes) -> PointBatch:
         for _ in range(n_keys):
             (klen,) = _U16.unpack_from(payload, off)
             off += 2
-            keys.append(parse_series_key(payload[off : off + klen].decode("utf-8")))
+            keys.append(
+                parse_series_key(bytes(payload[off : off + klen]).decode("utf-8"))
+            )
             off += klen
         (n_rows,) = _U32.unpack_from(payload, off)
         off += 4
@@ -207,11 +217,11 @@ def encode_marker(marker: DeleteBefore | DeleteSeriesBefore) -> bytes:
     return head + _U16.pack(len(suffix)) + suffix
 
 
-def decode_marker(payload: bytes) -> DeleteBefore | DeleteSeriesBefore:
+def decode_marker(payload: bytes | memoryview) -> DeleteBefore | DeleteSeriesBefore:
     try:
         kind, cutoff, has_exclude = _MARKER_HEAD.unpack_from(payload, 0)
         (slen,) = _U16.unpack_from(payload, _MARKER_HEAD.size)
-        raw = payload[_MARKER_HEAD.size + 2 : _MARKER_HEAD.size + 2 + slen]
+        raw = bytes(payload[_MARKER_HEAD.size + 2 : _MARKER_HEAD.size + 2 + slen])
         tail = raw.decode("utf-8")
     except (struct.error, UnicodeDecodeError) as exc:
         raise ValueError(f"bad marker block: {exc}") from None
@@ -266,7 +276,7 @@ def decode_frame(frame: bytes) -> tuple[int, bytes]:
 
 
 def decode_block(
-    block_type: int, payload: bytes
+    block_type: int, payload: bytes | memoryview
 ) -> PointBatch | DeleteBefore | DeleteSeriesBefore | None:
     """Decode a validated block payload into its typed value.
 
@@ -487,7 +497,10 @@ class SegmentWriter:
 # Reader
 # ---------------------------------------------------------------------------
 def iter_segments(
-    source: str | os.PathLike[str] | BinaryIO, *, strict: bool = True
+    source: str | os.PathLike[str] | BinaryIO,
+    *,
+    strict: bool = True,
+    mmap: bool = False,
 ) -> Iterator[PointBatch | DeleteBefore | DeleteSeriesBefore]:
     """Yield batch blocks and control markers from a segment, in order.
 
@@ -497,8 +510,16 @@ def iter_segments(
     cleanly after the last clean block — the unclean-shutdown recovery
     path.  A missing or wrong magic always raises: that is a different
     *format*, not a damaged segment.
+
+    With ``mmap=True`` (path sources only) the file is memory-mapped
+    and block payloads are ``memoryview`` slices of the map: column
+    decode runs ``np.frombuffer`` straight out of the page cache with
+    no read-and-copy pass.  The map stays alive for as long as any
+    decoded column still references it, so callers that keep batches
+    around keep pages mapped — the intended trade for cold-shard
+    paging, where the store copies columns on ingest anyway.
     """
-    for offset, block_type, payload in _iter_blocks(source, strict=strict):
+    for offset, block_type, payload in _iter_blocks(source, strict=strict, mmap=mmap):
         try:
             item = decode_block(block_type, payload)
         except ValueError as exc:
@@ -509,12 +530,69 @@ def iter_segments(
             yield item
 
 
+def _iter_blocks_mmap(
+    path: str | os.PathLike[str], *, strict: bool
+) -> Iterator[tuple[int, int, memoryview]]:
+    """mmap twin of :func:`_iter_blocks`: the same framing walk and
+    lenient skip/stop rules, but payloads are zero-copy ``memoryview``
+    slices of the mapped file.  The map is closed eagerly when the last
+    consumer releases its views; until then the OS pages it on demand.
+    """
+    with open(path, "rb") as fh:
+        size = os.fstat(fh.fileno()).st_size
+        if size < len(SEGMENT_MAGIC):
+            head = fh.read(len(SEGMENT_MAGIC))
+            raise SegmentCorruption(0, f"bad segment magic {head!r}")
+        mm = _mmap.mmap(fh.fileno(), 0, access=_mmap.ACCESS_READ)
+    view = memoryview(mm)
+    try:
+        if bytes(view[: len(SEGMENT_MAGIC)]) != SEGMENT_MAGIC:
+            raise SegmentCorruption(
+                0, f"bad segment magic {bytes(view[: len(SEGMENT_MAGIC)])!r}"
+            )
+        offset = len(SEGMENT_MAGIC)
+        while offset < size:
+            if size - offset < _HEADER.size:
+                if strict:
+                    raise SegmentCorruption(offset, "truncated block header")
+                return
+            block_type, plen, crc = _HEADER.unpack_from(view, offset)
+            start = offset
+            payload_start = offset + _HEADER.size
+            end = payload_start + plen
+            if end > size:
+                if strict:
+                    raise SegmentCorruption(
+                        start, f"truncated payload ({size - payload_start}/{plen} bytes)"
+                    )
+                return
+            payload = view[payload_start:end]
+            offset = end
+            expect = zlib.crc32(
+                payload, zlib.crc32(view[start : start + _HEADER_PREFIX.size])
+            )
+            if expect != crc:
+                if strict:
+                    raise SegmentCorruption(start, "block checksum mismatch")
+                continue
+            yield start, block_type, payload
+    finally:
+        view.release()
+        try:
+            mm.close()
+        except BufferError:
+            pass  # zero-copy consumers still hold views; GC frees the map
+
+
 def _iter_blocks(
-    source: str | os.PathLike[str] | BinaryIO, *, strict: bool
-) -> Iterator[tuple[int, int, bytes]]:
+    source: str | os.PathLike[str] | BinaryIO, *, strict: bool, mmap: bool = False
+) -> Iterator[tuple[int, int, bytes | memoryview]]:
     """The framing walk under every reader: yield CRC-validated
     ``(offset, block_type, payload)`` triples, applying the lenient
     skip/stop rules for damaged or truncated blocks."""
+    if mmap and isinstance(source, (str, os.PathLike)):
+        yield from _iter_blocks_mmap(source, strict=strict)
+        return
     if isinstance(source, (str, os.PathLike)):
         fh: BinaryIO = open(source, "rb")
         owns = True
@@ -556,7 +634,10 @@ def _iter_blocks(
 
 
 def segment_point_count(
-    source: str | os.PathLike[str] | BinaryIO, *, strict: bool = True
+    source: str | os.PathLike[str] | BinaryIO,
+    *,
+    strict: bool = True,
+    mmap: bool = False,
 ) -> int:
     """Total rows across a segment's batch blocks (markers excluded).
 
@@ -565,7 +646,7 @@ def segment_point_count(
     one read pass, not a full columnar decode.
     """
     total = 0
-    for offset, block_type, payload in _iter_blocks(source, strict=strict):
+    for offset, block_type, payload in _iter_blocks(source, strict=strict, mmap=mmap):
         if block_type != _BLOCK_BATCH:
             continue
         try:
@@ -576,7 +657,68 @@ def segment_point_count(
     return total
 
 
-def _batch_row_count(payload: bytes) -> int:
+@dataclass(frozen=True, slots=True)
+class SegmentStats:
+    """Framing-walk summary of one segment file — what a compaction
+    trigger policy looks at before deciding to rewrite.
+
+    Collected without decoding any columns (same cost profile as
+    :func:`segment_point_count`), so polling a live WAL for "is it
+    fragmented enough to compact?" stays cheap.
+    """
+
+    size_bytes: int
+    blocks: int
+    batch_blocks: int
+    marker_blocks: int
+    comment_blocks: int
+    points: int
+
+    @property
+    def points_per_batch(self) -> float:
+        """Mean batch-block granularity; low values mean a fragmented
+        WAL of many small appends — the compaction signal."""
+        if not self.batch_blocks:
+            return 0.0
+        return self.points / self.batch_blocks
+
+
+def segment_stats(
+    path: str | os.PathLike[str], *, strict: bool = False, mmap: bool = False
+) -> SegmentStats:
+    """Summarize a segment file's block population and row count.
+
+    Lenient by default (``strict=False``): a torn tail or damaged block
+    should make a WAL *more* eligible for compaction, not crash the
+    poller that decides whether to compact it.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    blocks = batch_blocks = marker_blocks = comment_blocks = points = 0
+    for offset, block_type, payload in _iter_blocks(path, strict=strict, mmap=mmap):
+        blocks += 1
+        if block_type == _BLOCK_BATCH:
+            batch_blocks += 1
+            try:
+                points += _batch_row_count(payload)
+            except ValueError as exc:
+                if strict:
+                    raise SegmentCorruption(offset, str(exc)) from None
+        elif block_type == _BLOCK_MARKER:
+            marker_blocks += 1
+        elif block_type == _BLOCK_COMMENT:
+            comment_blocks += 1
+    return SegmentStats(
+        size_bytes=size,
+        blocks=blocks,
+        batch_blocks=batch_blocks,
+        marker_blocks=marker_blocks,
+        comment_blocks=comment_blocks,
+        points=points,
+    )
+
+
+def _batch_row_count(payload: bytes | memoryview) -> int:
     """Row count of a batch payload, skipping the key dictionary and
     columns; validates the same structure ``decode_batch`` would."""
     off = 0

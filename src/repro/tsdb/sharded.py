@@ -602,7 +602,9 @@ class ShardedTSDB(StoreApi):
         return total
 
     @classmethod
-    def restore_from_dir(cls, directory: str | Path) -> "ShardedTSDB":
+    def restore_from_dir(
+        cls, directory: str | Path, *, mmap: bool = False
+    ) -> "ShardedTSDB":
         """Rebuild a sharded store from :meth:`snapshot_to_dir` output.
 
         The shard count comes from the file names and each file's format
@@ -612,38 +614,15 @@ class ShardedTSDB(StoreApi):
         so a renamed or misplaced file fails loudly instead of silently
         corrupting routing.  Shards replay on a thread pool — the files
         are independent, so parallel replay is byte-identical to serial.
+        ``mmap=True`` replays binary shard files zero-copy out of the
+        page cache (see :func:`~repro.tsdb.persistence.load`).
         """
-        directory = Path(directory)
-        files: dict[int, Path] = {}
-        counts: set[int] = set()
-        for path in directory.iterdir():
-            m = _SHARD_FILE_RE.match(path.name)
-            if m is None:
-                continue
-            if int(m.group(1)) in files:
-                raise ValueError(
-                    f"duplicate snapshot files for shard {m.group(1)} in {directory}"
-                )
-            files[int(m.group(1))] = path
-            counts.add(int(m.group(2)))
-        if not files:
-            raise FileNotFoundError(f"no shard-*.log|seg snapshot files in {directory}")
-        if len(counts) != 1:
-            raise ValueError(f"inconsistent shard counts in {directory}: {counts}")
-        (n,) = counts
-        if sorted(files) != list(range(n)):
-            missing = sorted(set(range(n)) - set(files))
-            raise ValueError(f"snapshot in {directory} is missing shards {missing}")
+        n, files = scan_snapshot_dir(directory)
         db = cls(n)
 
         def restore_one(i: int) -> None:
-            persistence.load(files[i], into=db._shards[i])
-            for key in db._shards[i]._stores:
-                if shard_for_key(key, n) != i:
-                    raise ValueError(
-                        f"series {key} found in shard {i} but routes to "
-                        f"shard {shard_for_key(key, n)}; snapshot files moved?"
-                    )
+            persistence.load(files[i], into=db._shards[i], mmap=mmap)
+            validate_shard_routing(db._shards[i], i, n)
 
         if n == 1:
             restore_one(0)
@@ -664,6 +643,49 @@ class ShardedTSDB(StoreApi):
     def __repr__(self) -> str:
         per_shard = ",".join(str(sh.series_count) for sh in self._shards)
         return f"ShardedTSDB(num_shards={len(self._shards)}, series=[{per_shard}])"
+
+
+def scan_snapshot_dir(directory: str | Path) -> tuple[int, dict[int, Path]]:
+    """Discover and validate a :meth:`ShardedTSDB.snapshot_to_dir` layout.
+
+    Returns ``(shard_count, {shard_index: file})`` after the same checks
+    ``restore_from_dir`` applies: no duplicates, one consistent count,
+    no missing shards.  Shared with the cold-shard pager and directory
+    compaction, which need the layout without replaying anything.
+    """
+    directory = Path(directory)
+    files: dict[int, Path] = {}
+    counts: set[int] = set()
+    for path in directory.iterdir():
+        m = _SHARD_FILE_RE.match(path.name)
+        if m is None:
+            continue
+        if int(m.group(1)) in files:
+            raise ValueError(
+                f"duplicate snapshot files for shard {m.group(1)} in {directory}"
+            )
+        files[int(m.group(1))] = path
+        counts.add(int(m.group(2)))
+    if not files:
+        raise FileNotFoundError(f"no shard-*.log|seg snapshot files in {directory}")
+    if len(counts) != 1:
+        raise ValueError(f"inconsistent shard counts in {directory}: {counts}")
+    (n,) = counts
+    if sorted(files) != list(range(n)):
+        missing = sorted(set(range(n)) - set(files))
+        raise ValueError(f"snapshot in {directory} is missing shards {missing}")
+    return n, files
+
+
+def validate_shard_routing(shard: TSDB, index: int, num_shards: int) -> None:
+    """Fail loudly if any series in ``shard`` hash-routes elsewhere —
+    the renamed/misplaced-snapshot-file guard every restore path runs."""
+    for key in shard._stores:
+        if shard_for_key(key, num_shards) != index:
+            raise ValueError(
+                f"series {key} found in shard {index} but routes to "
+                f"shard {shard_for_key(key, num_shards)}; snapshot files moved?"
+            )
 
 
 def scatter_batch(batch: PointBatch, num_shards: int) -> list[PointBatch]:

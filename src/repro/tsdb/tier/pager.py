@@ -1,0 +1,156 @@
+"""Cold-shard paging: restore shards on first touch, not at startup.
+
+``ShardedTSDB.restore_from_dir`` replays every shard file before the
+process can answer anything — cold-start latency and RAM both track the
+*whole* archive.  :class:`ColdShardPager` wraps the same snapshot
+directory but replays a shard only the first time an operation actually
+touches it:
+
+- **keyed operations** (``series_slice``, ``put``/``put_batch``,
+  ``delete_series_before``, generation reads) hash-route exactly like
+  the store does, so they page in only the owning shard — an exact
+  read of one series costs one shard's replay, not N;
+- **global operations** (queries, ``metrics``, wildcard matching,
+  snapshots) page in everything on first use — tag filters are subset
+  matches, so no shard can be ruled out without its key set.
+
+Replays run through the mmap zero-copy reader by default, so paging a
+cold shard is a page-cache walk rather than a read-and-copy pass.
+Once a shard is resident it is exactly the shard ``restore_from_dir``
+would have built (including the routing validation), so a fully paged
+pager is byte-identical to an eager restore — pinned in
+``tests/test_tsdb_tier.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Mapping
+
+from ..batch import PointBatch
+from ..model import DataPoint, SeriesKey
+from ..persistence import load
+from ..sharded import (
+    ShardedTSDB,
+    scan_snapshot_dir,
+    shard_for_key,
+    validate_shard_routing,
+)
+
+__all__ = ["ColdShardPager"]
+
+
+class ColdShardPager:
+    """A :class:`ShardedTSDB` whose shards replay lazily from disk.
+
+    Satisfies the ``TimeSeriesStore`` protocol by delegation: anything
+    not intercepted below pages in *all* remaining shards and then
+    passes through, so semantics never diverge from the eager store —
+    laziness only ever changes *when* a shard's file is read.
+    """
+
+    def __init__(self, directory: str | os.PathLike[str], *, mmap: bool = True) -> None:
+        self._directory = Path(directory)
+        num_shards, files = scan_snapshot_dir(self._directory)
+        self._files = files
+        self._mmap = mmap
+        self._db = ShardedTSDB(num_shards)
+        self._resident = [False] * num_shards
+        self._lock = threading.Lock()
+
+    # -- paging ----------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self._db.num_shards
+
+    @property
+    def resident_shards(self) -> tuple[int, ...]:
+        """Indices of shards already paged in (stable snapshot)."""
+        return tuple(i for i, r in enumerate(self._resident) if r)
+
+    @property
+    def resident_points(self) -> int:
+        """Points held in RAM right now — the pager's footprint metric
+        (deterministic, unlike RSS: unloaded shards contribute zero)."""
+        with self._lock:
+            return sum(
+                sum(len(sl) for _, sl in self._db.shards[i].iter_series())
+                for i, r in enumerate(self._resident)
+                if r
+            )
+
+    def _page_in(self, index: int) -> None:
+        with self._lock:
+            if self._resident[index]:
+                return
+            shard = self._db.shards[index]
+            load(self._files[index], into=shard, mmap=self._mmap)
+            validate_shard_routing(shard, index, self._db.num_shards)
+            self._resident[index] = True
+
+    def _page_all(self) -> None:
+        for i in range(self._db.num_shards):
+            self._page_in(i)
+
+    def shard_of(self, key: SeriesKey) -> int:
+        return shard_for_key(key, self._db.num_shards)
+
+    # -- keyed fast paths: page exactly the owning shard -----------------
+    def series_slice(self, key: SeriesKey, start=None, end=None):
+        self._page_in(self.shard_of(key))
+        return self._db.series_slice(key, start, end)
+
+    def series_generation(self, key: SeriesKey) -> int:
+        self._page_in(self.shard_of(key))
+        return self._db.series_generation(key)
+
+    def put(
+        self,
+        metric: str,
+        timestamp: int,
+        value: float,
+        tags: Mapping[str, str] | None = None,
+    ) -> SeriesKey:
+        # Page the owning shard *before* writing: replaying the snapshot
+        # after a live write would resurrect snapshotted values over it
+        # (replay is last-write-wins at equal timestamps).
+        key = SeriesKey.make(metric, tags)
+        self._page_in(self.shard_of(key))
+        return self._db.put(metric, timestamp, value, tags)
+
+    def put_point(self, point: DataPoint) -> SeriesKey:
+        self._page_in(self.shard_of(point.key))
+        return self._db.put_point(point)
+
+    def put_batch(self, batch: PointBatch) -> int:
+        for key in batch.keys:
+            self._page_in(self.shard_of(key))
+        return self._db.put_batch(batch)
+
+    def delete_series_before(self, key: SeriesKey, cutoff: int) -> int:
+        self._page_in(self.shard_of(key))
+        return self._db.delete_series_before(key, cutoff)
+
+    # -- everything else: correctness needs the full key set -------------
+    def _match(self, metric: str, tags: Mapping[str, str]) -> list[SeriesKey]:
+        # Wildcard/alternation filters are subset matches over the key
+        # set — no shard can be ruled out, so matching pages everything.
+        # Named explicitly because __getattr__ refuses private names.
+        self._page_all()
+        return self._db._match(metric, tags)
+
+    def __getattr__(self, name: str):
+        # Only reached for attributes not defined above.  Private/dunder
+        # lookups never page (pickling, repr machinery, hasattr probes).
+        if name.startswith("_"):
+            raise AttributeError(name)
+        self._page_all()
+        return getattr(self._db, name)
+
+    def __repr__(self) -> str:
+        return (
+            f"ColdShardPager({str(self._directory)!r}, "
+            f"resident={len(self.resident_shards)}/{self._db.num_shards})"
+        )

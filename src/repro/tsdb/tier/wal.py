@@ -1,0 +1,148 @@
+"""A write-through WAL tee with a compaction-safe pause protocol.
+
+:class:`DurableStore` wraps any ``TimeSeriesStore`` and appends every
+mutation to a segment/log WAL *before* committing it to the store —
+durability precedes visibility, the same ordering the writers
+themselves promise (a flushed block precedes the in-memory write).
+Replaying the WAL rebuilds the store; compacting it (see
+:mod:`.compact`) keeps that replay proportional to live data.
+
+Compacting a *live* WAL needs the writer out of the way: the compactor
+replaces the file under ``os.replace``, and an open append handle would
+keep writing to the unlinked original.  :meth:`suspend_wal` is that
+handshake — flush and close the writer, hand the path to the caller
+(who compacts), and reopen in append mode on exit.  Writes arriving
+during the window block on the same lock the tee holds, so no mutation
+can slip between "closed" and "reopened" un-journaled.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
+
+from ..batch import PointBatch
+from ..interface import StoreApi
+from ..model import DataPoint, SeriesKey
+from ..persistence import LogWriter, SegmentWriter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..interface import TimeSeriesStore
+
+__all__ = ["DurableStore"]
+
+
+class DurableStore(StoreApi):
+    """Store wrapper journaling every mutation to a WAL file.
+
+    Reads and introspection delegate untouched; each write appends its
+    block/line first, then commits, under one lock so the WAL's order
+    equals the store's commit order.  ``format`` picks the journal
+    format ("binary" = the segment fast path).
+    """
+
+    def __init__(
+        self,
+        store: "TimeSeriesStore",
+        path: str | os.PathLike[str],
+        *,
+        format: str = "binary",
+    ) -> None:
+        self._store = store
+        self._path = Path(path)
+        self._format = format
+        self._lock = threading.RLock()
+        self._writer = self._open_writer()
+
+    def _open_writer(self) -> SegmentWriter | LogWriter:
+        cls = SegmentWriter if self._format == "binary" else LogWriter
+        return cls(self._path, append=True)
+
+    @property
+    def wal_path(self) -> Path:
+        return self._path
+
+    @property
+    def wrapped(self) -> "TimeSeriesStore":
+        """The underlying store (escape hatch, mirrors CachingStore)."""
+        return self._store
+
+    def __getattr__(self, name: str):
+        # Only called for attributes not found on this class: the whole
+        # read/introspection surface passes straight through.
+        return getattr(self._store, name)
+
+    # -- journaled writes ------------------------------------------------
+    def put(
+        self,
+        metric: str,
+        timestamp: int,
+        value: float,
+        tags: Mapping[str, str] | None = None,
+    ) -> SeriesKey:
+        key = SeriesKey.make(metric, tags)
+        with self._lock:
+            self._writer.write(DataPoint(key, int(timestamp), float(value)))
+            self._writer.flush()
+            return self._store.put(metric, timestamp, value, tags)
+
+    def put_point(self, point: DataPoint) -> SeriesKey:
+        with self._lock:
+            self._writer.write(point)
+            self._writer.flush()
+            return self._store.put_point(point)
+
+    def put_batch(self, batch: PointBatch) -> int:
+        with self._lock:
+            self._writer.write_batch(batch)
+            return self._store.put_batch(batch)
+
+    def put_series(
+        self,
+        metric: str,
+        timestamps,
+        values,
+        tags: Mapping[str, str] | None = None,
+    ) -> SeriesKey:
+        batch = PointBatch.for_series(metric, timestamps, values, tags)
+        self.put_batch(batch)
+        return batch.keys[0]
+
+    def put_many(self, points: Iterable[DataPoint]) -> int:
+        # StoreApi.put_many chunks through self.put_batch, which journals.
+        return StoreApi.put_many(self, points)
+
+    def delete_before(
+        self, cutoff: int, *, exclude_suffix: str | None = None
+    ) -> int:
+        with self._lock:
+            self._writer.delete_before(cutoff, exclude_suffix=exclude_suffix)
+            return self._store.delete_before(cutoff, exclude_suffix=exclude_suffix)
+
+    def delete_series_before(self, key: SeriesKey, cutoff: int) -> int:
+        with self._lock:
+            self._writer.delete_series_before(key, cutoff)
+            return self._store.delete_series_before(key, cutoff)
+
+    # -- compaction handshake --------------------------------------------
+    @contextmanager
+    def suspend_wal(self) -> Iterator[Path]:
+        """Close the writer, yield the WAL path, reopen on exit.
+
+        The critical section for in-place WAL maintenance (compaction,
+        conversion): concurrent writers block until the journal is back
+        in append mode, so every mutation is journaled exactly once.
+        """
+        with self._lock:
+            self._writer.close()
+            try:
+                yield self._path
+            finally:
+                self._writer = self._open_writer()
+
+    def close(self) -> None:
+        with self._lock:
+            self._writer.close()

@@ -125,6 +125,59 @@ class TestReplicationLog:
         assert [s for s, _ in log.pending_after(3, limit=2)] == [4, 5]
         assert log.pending_after(6) == []
 
+    def test_trim_waits_for_the_slowest_follower(self):
+        # Fan-out: records are freed only below the *minimum* acked
+        # cursor, so a fast follower can't release what a slow one
+        # still needs.
+        log = ReplicationLog()
+        for i in range(6):
+            log.append_batch(small_batch(i))
+        log.register_follower("fast")
+        log.register_follower("slow")
+        log.ack(6, follower="fast")
+        assert log.acked_for("fast") == 6
+        assert log.acked_seq == 0 and len(log) == 6  # slow holds them
+        log.ack(4, follower="slow")
+        assert log.acked_seq == 4 and len(log) == 2
+        log.ack(6, follower="slow")
+        assert len(log) == 0
+        assert log.follower_cursors == {"fast": 6, "slow": 6}
+
+    def test_register_before_ack_holds_records(self):
+        log = ReplicationLog()
+        log.append_batch(small_batch(0))
+        # Single implicit follower drains as before...
+        log.ack(1)
+        assert len(log) == 0
+        # ...but a follower registered later starts at the trim floor:
+        # what was already dropped can never be shipped to it.
+        log.register_follower("late")
+        assert log.acked_for("late") == 1
+        log.append_batch(small_batch(1))
+        log.ack(2)  # default follower alone no longer trims
+        assert len(log) == 1
+        log.ack(2, follower="late")
+        assert len(log) == 0
+
+    def test_forget_follower_releases_its_hold(self):
+        log = ReplicationLog()
+        for i in range(4):
+            log.append_batch(small_batch(i))
+        log.register_follower("gone")
+        log.ack(4, follower="default")
+        assert len(log) == 4  # "gone" never acked anything
+        log.forget_follower("gone")
+        assert len(log) == 0
+        assert "gone" not in log.follower_cursors
+
+    def test_unknown_follower_reads_trim_floor(self):
+        log = ReplicationLog()
+        for i in range(3):
+            log.append_batch(small_batch(i))
+        assert log.acked_for("never-seen") == 0
+        log.ack(2)
+        assert log.acked_for("never-seen") == 2  # 1..2 already dropped
+
     def test_marker_records_round_trip(self):
         log = ReplicationLog()
         log.append_delete_before(500, exclude_suffix=".rollup")

@@ -492,6 +492,41 @@ class TestCatalogService:
                     c.run(e)
                 assert err.value.error_type == "CardinalityLimitError"
 
+    def test_per_tenant_limit_overrides_server_wide(self, store):
+        # One tenant's wildcard storms are capped per-lane; the limit
+        # may be tighter *or* looser than the server's.
+        wide = Query("air.co2.ppm", 0, 4000, tags={"node": "*"})
+        policies = {
+            "tight": TenantPolicy(max_match_series=1),
+            "loose": TenantPolicy(max_match_series=10),
+        }
+        with live_server(store, max_match_series=10,
+                         tenant_policies=policies) as server:
+            with QueryClient(*server.address, tenant="tight") as c:
+                with pytest.raises(wire.RemoteQueryError) as err:
+                    c.run(wide)
+                assert err.value.error_type == "CardinalityLimitError"
+                assert "tenant's 1-series limit" in err.value.message
+            # The capped tenant can still run narrow queries...
+            with QueryClient(*server.address, tenant="tight") as c:
+                got = c.run(Query("air.co2.ppm", 0, 4000,
+                                  tags={"node": "a"}))
+                assert len(got.series) == 1
+            # ...and other tenants are untouched by its cap.
+            with QueryClient(*server.address, tenant="loose") as c:
+                assert c.run(wide).scanned_points == 24
+            with QueryClient(*server.address) as c:
+                assert c.run(wide).scanned_points == 24
+        # A looser tenant limit also relaxes a tight server-wide one.
+        with live_server(store, max_match_series=1,
+                         tenant_policies=policies) as server:
+            with QueryClient(*server.address, tenant="loose") as c:
+                assert c.run(wide).scanned_points == 24
+            with QueryClient(*server.address) as c:
+                with pytest.raises(wire.RemoteQueryError) as err:
+                    c.run(wide)
+                assert "server's 1-series limit" in err.value.message
+
     def test_ingest_guard_error_type_matches_wire_contract(self):
         # The ingest-side guard raises the same error type the server
         # reports, so clients key on one name for both guard-rails.
